@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one table or figure of the
+paper, prints them (visible with ``pytest -s`` or on failure) and writes
+them to ``results/<experiment>.txt`` so the output survives the run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.metrics.report import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+
+
+def emit(name: str, rows: Sequence[Dict[str, object]], title: str, columns: Optional[List[str]] = None) -> str:
+    """Format rows as a table, print it and persist it under ``results/``."""
+    table = format_table(list(rows), columns=columns, title=title)
+    print("\n" + table + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table + "\n")
+    return table
+
+
+@pytest.fixture
+def results_emitter():
+    """Fixture exposing :func:`emit` to benchmarks."""
+    return emit

@@ -1,0 +1,64 @@
+"""Benchmark regenerating Figure 6 (tail-latency percentiles).
+
+The paper's qualitative claim: the latency tails of dependency-based
+protocols (Atlas, EPaxos, Caesar) blow up under contention and load, while
+Tempo's tail remains flat.  Client counts are scaled down and the conflict
+rate scaled up to preserve the number of concurrently conflicting commands
+(see EXPERIMENTS.md for the scaling argument).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_tail
+
+
+def test_bench_fig6_tail_percentiles(benchmark, results_emitter):
+    options = fig6_tail.Figure6Options(
+        client_loads=(8, 16),
+        conflict_rates=(0.15, 0.15),
+        duration_ms=3_000.0,
+        warmup_ms=500.0,
+        protocols=(
+            ("tempo", 1),
+            ("tempo", 2),
+            ("atlas", 1),
+            ("atlas", 2),
+            ("epaxos", 1),
+            ("caesar", 2),
+        ),
+    )
+    rows = benchmark.pedantic(fig6_tail.run, args=(options,), rounds=1, iterations=1)
+    results_emitter(
+        "fig6_tail",
+        rows,
+        "Figure 6 - latency percentiles (ms), 5 sites, contended workload",
+    )
+    by_key = {
+        (str(row["protocol"]), int(row["clients_per_site"])): row for row in rows
+    }
+
+    for load in (8, 16):
+        tempo1 = by_key[("tempo f=1", load)]
+        tempo2 = by_key[("tempo f=2", load)]
+        # Tempo's tail stays within a small factor of its median-ish p95.
+        for tempo_row in (tempo1, tempo2):
+            assert float(tempo_row["p99.9"]) <= 4.0 * float(tempo_row["p95.0"]), tempo_row
+        # Dependency-based protocols exhibit a much longer tail than Tempo
+        # under contention (the paper reports 1.4-14x at p99.9).
+        worst_dep_tail = max(
+            float(by_key[(name, load)]["p99.9"])
+            for name in ("atlas f=1", "atlas f=2", "epaxos f=1", "caesar f=2")
+        )
+        assert worst_dep_tail > float(tempo1["p99.9"]), (
+            "expected at least one dependency-based protocol to have a longer "
+            "p99.9 tail than Tempo f=1"
+        )
+
+    # Load increase degrades the dependency-based tails more than Tempo's.
+    atlas_growth = float(by_key[("atlas f=2", 16)]["p99.9"]) - float(
+        by_key[("atlas f=2", 8)]["p99.9"]
+    )
+    tempo_growth = float(by_key[("tempo f=1", 16)]["p99.9"]) - float(
+        by_key[("tempo f=1", 8)]["p99.9"]
+    )
+    assert atlas_growth >= tempo_growth - 50.0

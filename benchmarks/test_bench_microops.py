@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the core data structures (pytest-benchmark timings).
+
+These are not figures from the paper; they track the cost of the hot
+operations of the library (promise insertion, stability queries, dependency
+graph execution, clock operations) so regressions are visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import LogicalClock
+from repro.core.identifiers import Dot
+from repro.core.promises import Promise, PromiseSet
+from repro.kvstore.store import KeyValueStore
+from repro.core.commands import Command
+from repro.protocols.depgraph import DependencyGraph
+
+
+def test_bench_promise_set_insertion(benchmark):
+    def insert():
+        promises = PromiseSet()
+        for process in range(5):
+            for timestamp in range(1, 501):
+                promises.add(Promise(process, timestamp))
+        return promises
+
+    promises = benchmark(insert)
+    assert promises.highest_contiguous_promise(0) == 500
+
+
+def test_bench_stability_query(benchmark):
+    promises = PromiseSet()
+    for process in range(5):
+        for timestamp in range(1, 2001):
+            promises.add(Promise(process, timestamp))
+
+    result = benchmark(promises.stable_timestamp, range(5))
+    assert result == 2000
+
+
+def test_bench_clock_proposals(benchmark):
+    def run():
+        clock = LogicalClock()
+        for index in range(1, 1001):
+            clock.proposal(index * 2)
+        return clock
+
+    clock = benchmark(run)
+    assert clock.value == 2000
+
+
+def test_bench_dependency_graph_execution(benchmark):
+    def run():
+        graph = DependencyGraph()
+        previous = None
+        for index in range(1, 501):
+            dot = Dot(0, index)
+            deps = {previous} if previous is not None else set()
+            graph.commit(dot, deps, sequence=index)
+            previous = dot
+        return graph.execute_ready()
+
+    executed = benchmark(run)
+    assert len(executed) == 500
+
+
+def test_bench_kvstore_apply(benchmark):
+    def run():
+        store = KeyValueStore()
+        for index in range(1, 1001):
+            store.apply(Command.write(Dot(0, index), [f"k{index % 50}"]))
+        return store
+
+    store = benchmark(run)
+    assert len(store.applied_commands()) == 1000

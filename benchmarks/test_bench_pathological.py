@@ -1,0 +1,61 @@
+"""Benchmark regenerating the §D pathological scenarios."""
+
+from __future__ import annotations
+
+from repro.experiments import pathological
+
+
+def test_bench_pathological_schedule(benchmark, results_emitter):
+    rows = benchmark.pedantic(pathological.run, kwargs={"rounds": 8}, rounds=1, iterations=1)
+    results_emitter(
+        "pathological",
+        rows,
+        "§D - adversarial round-robin schedule (3 processes, all commands conflict)",
+    )
+    by_protocol = {str(row["protocol"]): row for row in rows}
+
+    # Tempo keeps committing and executing while the schedule runs.
+    assert int(by_protocol["tempo"]["committed_during"]) > 0
+    assert int(by_protocol["tempo"]["executed_during"]) > 0
+
+    # EPaxos executes nothing during the schedule and builds a strongly
+    # connected component that grows with the schedule length.
+    assert int(by_protocol["epaxos"]["executed_during"]) == 0
+    assert int(by_protocol["epaxos"]["largest_component"]) >= 12
+
+    # Caesar commits nothing during the schedule: replies are blocked by the
+    # wait condition.
+    assert int(by_protocol["caesar"]["committed_during"]) == 0
+    assert int(by_protocol["caesar"]["blocked_replies"]) > 0
+
+    # Once the adversary relents, liveness is restored everywhere.
+    for row in rows:
+        assert int(row["executed_final"]) == int(row["submitted"])
+
+
+def test_bench_pathological_component_growth(benchmark, results_emitter):
+    """EPaxos' largest component grows linearly with the schedule length."""
+
+    def measure():
+        rows = []
+        for rounds in (4, 8, 12):
+            report = pathological.replay_schedule("epaxos", rounds=rounds)
+            rows.append(
+                {
+                    "rounds": rounds,
+                    "submitted": report.submitted,
+                    "largest_component": report.largest_component,
+                    "executed_during": report.executed_during,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    results_emitter(
+        "pathological_growth",
+        rows,
+        "§D - EPaxos dependency-component growth with schedule length",
+    )
+    sizes = [int(row["largest_component"]) for row in rows]
+    assert sizes[0] < sizes[1] < sizes[2]
+    assert all(int(row["executed_during"]) == 0 for row in rows)

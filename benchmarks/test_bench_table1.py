@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table 1 (fast-path examples)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_fastpath
+
+
+def test_bench_table1_fast_path(benchmark, results_emitter):
+    rows = benchmark.pedantic(table1_fastpath.run, rounds=1, iterations=1)
+    results_emitter(
+        "table1_fastpath",
+        rows,
+        "Table 1 - Tempo fast-path examples (r = 5)",
+    )
+    for row in rows:
+        assert row["fast_path(analytic)"] == row["expected_fast_path"]
+        assert row["fast_path(simulated)"] == row["expected_fast_path"]
+    # Example a: fast path taken even though proposals do not match.
+    example_a = next(row for row in rows if row["example"] == "a")
+    assert example_a["match"] is False and example_a["fast_path(simulated)"] is True

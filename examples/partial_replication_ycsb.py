@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Partial replication: YCSB+T transactions over multiple shards.
+
+Deploys Tempo and Janus* over 3 shards replicated at 3 sites (the paper's
+§6.4 setting, scaled down), drives them with two-key zipfian YCSB+T
+transactions, and compares mean and tail latency.  It also prints the
+modelled maximum-throughput comparison of Figure 9.
+
+Run with::
+
+    python examples/partial_replication_ycsb.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ExperimentConfig, run_experiment
+from repro.experiments import fig9_partial
+from repro.metrics.report import format_table
+
+SITES = ("ireland", "n-california", "singapore")
+
+
+def run_simulated_comparison() -> None:
+    rows = []
+    for protocol in ("tempo", "janus"):
+        config = ExperimentConfig(
+            protocol=protocol,
+            num_sites=3,
+            num_shards=3,
+            clients_per_site=8,
+            workload="ycsbt",
+            zipf=0.7,
+            write_ratio=0.30,
+            keys_per_shard=50,
+            duration_ms=2_500.0,
+            warmup_ms=500.0,
+            sites=SITES,
+        )
+        print(f"running {protocol} over 3 shards ...")
+        result = run_experiment(config)
+        rows.append(
+            {
+                "protocol": protocol,
+                "mean_ms": round(result.mean_latency(), 1),
+                "p99_ms": round(result.percentile(99.0), 1),
+                "p99.99_ms": round(result.percentile(99.99), 1),
+                "completed": result.completed,
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            title="YCSB+T latency, 3 shards x 3 sites, zipf=0.7 (simulator)",
+        )
+    )
+
+
+def print_throughput_model() -> None:
+    rows = fig9_partial.run()
+    print()
+    print(
+        format_table(
+            rows,
+            title="Figure 9 (modelled): max throughput (K ops/s), Tempo vs Janus*",
+        )
+    )
+    print(
+        "\nTempo is unaffected by contention and write ratio; Janus* degrades "
+        "as writes and zipf skew grow (2-16x in the paper's update-heavy mix)."
+    )
+
+
+def main() -> None:
+    run_simulated_comparison()
+    print_throughput_model()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so `pip install -e .` works without PEP-517 build isolation
+(the execution environment has no network access and an older setuptools)."""
+
+from setuptools import setup
+
+setup()

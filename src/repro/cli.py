@@ -1,0 +1,215 @@
+"""Command-line interface for running experiments and regenerating figures.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro protocols
+    python -m repro run --protocol tempo --sites 5 --clients 8 --conflict 0.02
+    python -m repro figure fig5 --clients 8
+    python -m repro figure fig7
+    python -m repro throughput --protocol tempo --payload 4096 --conflict 0.02
+
+The CLI is a thin wrapper over :mod:`repro.cluster` and
+:mod:`repro.experiments`; everything it prints can also be obtained
+programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.cluster.config import ExperimentConfig
+from repro.cluster.runner import run_experiment
+from repro.core.config import ProtocolConfig
+from repro.experiments.throughput_model import max_throughput
+from repro.metrics.report import format_table
+from repro.protocols.registry import protocol_names
+from repro.simulator.latency import EC2_REGIONS
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run", help="run one experiment on the discrete-event simulator"
+    )
+    parser.add_argument("--protocol", default="tempo", choices=protocol_names())
+    parser.add_argument("--sites", type=int, default=5, help="number of sites (replicas per shard)")
+    parser.add_argument("--faults", type=int, default=1, help="tolerated failures f")
+    parser.add_argument("--shards", type=int, default=1, help="number of shards (1 = full replication)")
+    parser.add_argument("--clients", type=int, default=8, help="closed-loop clients per site")
+    parser.add_argument("--conflict", type=float, default=0.02, help="microbenchmark conflict rate")
+    parser.add_argument("--payload", type=int, default=100, help="payload size in bytes")
+    parser.add_argument("--duration", type=float, default=3_000.0, help="simulated duration (ms)")
+    parser.add_argument("--warmup", type=float, default=500.0, help="warm-up period (ms)")
+    parser.add_argument("--workload", default="micro", choices=("micro", "ycsbt"))
+    parser.add_argument("--zipf", type=float, default=0.5, help="zipf exponent for YCSB+T")
+    parser.add_argument("--writes", type=float, default=0.05, help="write ratio for YCSB+T")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_figure_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "figure", help="regenerate one of the paper's tables/figures"
+    )
+    parser.add_argument(
+        "name",
+        choices=("table1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "pathological"),
+    )
+    parser.add_argument("--clients", type=int, default=8, help="clients per site for simulator figures")
+    parser.add_argument("--duration", type=float, default=2_500.0, help="simulated duration (ms)")
+
+
+def _add_throughput_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "throughput", help="query the analytical maximum-throughput model"
+    )
+    parser.add_argument("--protocol", default="tempo", choices=protocol_names())
+    parser.add_argument("--sites", type=int, default=5)
+    parser.add_argument("--faults", type=int, default=1)
+    parser.add_argument("--payload", type=float, default=4096.0)
+    parser.add_argument("--conflict", type=float, default=0.02)
+    parser.add_argument("--shards", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tempo (EuroSys'21) reproduction - experiments and figures",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("protocols", help="list the available protocols")
+    _add_run_parser(subparsers)
+    _add_figure_parser(subparsers)
+    _add_throughput_parser(subparsers)
+    return parser
+
+
+def _command_protocols() -> int:
+    for name in protocol_names():
+        print(name)
+    return 0
+
+
+def _command_run(args) -> int:
+    sites = EC2_REGIONS[: args.sites]
+    config = ExperimentConfig(
+        protocol=args.protocol,
+        num_sites=args.sites,
+        faults=args.faults,
+        num_shards=args.shards,
+        clients_per_site=args.clients,
+        conflict_rate=args.conflict,
+        payload_size=args.payload,
+        workload=args.workload,
+        zipf=args.zipf,
+        write_ratio=args.writes,
+        duration_ms=args.duration,
+        warmup_ms=args.warmup,
+        seed=args.seed,
+        sites=sites,
+    )
+    result = run_experiment(config)
+    rows = [
+        {
+            "site": site,
+            "mean_ms": round(histogram.mean(), 1),
+            "p99_ms": round(histogram.percentile(99.0), 1) if len(histogram) else 0.0,
+            "samples": len(histogram),
+        }
+        for site, histogram in result.per_site_latency.items()
+    ]
+    print(format_table(rows, title=f"{args.protocol} f={args.faults}: per-site latency"))
+    print(
+        f"\noverall: mean {result.mean_latency():.1f} ms, "
+        f"p99 {result.percentile(99.0):.1f} ms, "
+        f"throughput {result.throughput_ops:.1f} ops/s, "
+        f"completed {result.completed}"
+    )
+    return 0
+
+
+def _command_figure(args) -> int:
+    name = args.name
+    if name == "table1":
+        from repro.experiments import table1_fastpath
+
+        print(format_table(table1_fastpath.run(), title="Table 1"))
+    elif name == "fig2":
+        from repro.experiments import fig2_stability
+
+        print(format_table(fig2_stability.run()["figure2"], title="Figure 2"))
+    elif name == "fig5":
+        from repro.experiments import fig5_fairness
+
+        options = fig5_fairness.Figure5Options(
+            clients_per_site=args.clients, duration_ms=args.duration
+        )
+        print(format_table(fig5_fairness.run(options), title="Figure 5"))
+    elif name == "fig6":
+        from repro.experiments import fig6_tail
+
+        options = fig6_tail.Figure6Options(duration_ms=args.duration)
+        print(format_table(fig6_tail.run(options), title="Figure 6"))
+    elif name == "fig7":
+        from repro.experiments import fig7_load
+
+        print(format_table(fig7_load.saturation_table(), title="Figure 7 (ceilings)"))
+        print()
+        print(format_table(fig7_load.heatmap(), title="Figure 7 (heatmap)"))
+    elif name == "fig8":
+        from repro.experiments import fig8_batching
+
+        print(format_table(fig8_batching.run(), title="Figure 8"))
+    elif name == "fig9":
+        from repro.experiments import fig9_partial
+
+        print(format_table(fig9_partial.run(), title="Figure 9"))
+    elif name == "pathological":
+        from repro.experiments import pathological
+
+        print(format_table(pathological.run(), title="§D pathological scenarios"))
+    else:  # pragma: no cover - argparse prevents this
+        raise KeyError(name)
+    return 0
+
+
+def _command_throughput(args) -> int:
+    config = ProtocolConfig(num_processes=args.sites, faults=args.faults)
+    result = max_throughput(
+        args.protocol,
+        config=config,
+        payload=args.payload,
+        conflict_rate=args.conflict,
+        num_shards=args.shards,
+    )
+    rows = [
+        {
+            "protocol": args.protocol,
+            "max_kops": round(result["max_ops_per_second"] / 1000.0, 1),
+            "bottleneck": result["bottleneck"],
+            "cpu": round(result["cpu_utilization"] * 100.0, 1),
+            "net_out": round(result["net_out_utilization"] * 100.0, 1),
+        }
+    ]
+    print(format_table(rows, title="modelled saturation throughput"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "protocols":
+        return _command_protocols()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    if args.command == "throughput":
+        return _command_throughput(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

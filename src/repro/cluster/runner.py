@@ -1,0 +1,242 @@
+"""Experiment runner: deploy a protocol over the simulator and measure it.
+
+``run_experiment(config)`` builds the whole stack — latency matrix, network,
+protocol processes (one per shard per site), key-value stores, closed-loop
+clients with their workloads — runs the discrete-event simulation for the
+configured duration and returns an :class:`ExperimentResult` with per-site
+and aggregate latency plus throughput.
+
+This is the reproduction of the paper's *simulator* execution mode (§6.1);
+the maximum-throughput figures use the analytical resource model in
+:mod:`repro.experiments.throughput_model` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.client import ClosedLoopClient
+from repro.cluster.config import ExperimentConfig
+from repro.core.base import ProcessBase
+from repro.core.commands import Command, Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.quorums import QuorumSystem
+from repro.kvstore.sharding import ShardMap
+from repro.kvstore.store import KeyValueStore
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.throughput import ThroughputTracker
+from repro.protocols.registry import build_process
+from repro.simulator.latency import ec2_latency_matrix
+from repro.simulator.network import Network, NetworkOptions
+from repro.simulator.rng import SeededRng
+from repro.simulator.sim import Simulation, SimulationOptions
+from repro.workloads.micro import MicroWorkload
+from repro.workloads.ycsbt import YcsbTWorkload
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of one experiment run."""
+
+    config: ExperimentConfig
+    latency: LatencyHistogram
+    per_site_latency: Dict[str, LatencyHistogram]
+    throughput_ops: float
+    completed: int
+    submitted: int
+    per_site_throughput: Dict[str, float] = field(default_factory=dict)
+    fast_path_ratio: Optional[float] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def mean_latency(self) -> float:
+        return self.latency.mean()
+
+    def site_mean_latency(self) -> Dict[str, float]:
+        return {
+            site: histogram.mean() for site, histogram in self.per_site_latency.items()
+        }
+
+    def percentile(self, percentile: float) -> float:
+        return self.latency.percentile(percentile)
+
+
+class _Deployment:
+    """Everything built for one experiment run."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.sites = list(config.site_names())
+        self.protocol_config = ProtocolConfig(
+            num_processes=config.num_sites,
+            faults=config.faults,
+            num_partitions=config.num_shards,
+        )
+        self.shard_map = ShardMap(config.num_shards, keys_per_shard=config.keys_per_shard)
+        self.partitioner = (
+            self.shard_map.partitioner()
+            if config.num_shards > 1
+            else Partitioner(1)
+        )
+        self.latency_matrix = ec2_latency_matrix(self.sites)
+        self.network = Network(
+            self.latency_matrix,
+            NetworkOptions(),
+            rng=SeededRng(config.seed),
+        )
+        self.quorum_system = QuorumSystem(
+            self.protocol_config, latencies=self._process_latencies()
+        )
+        self.stores: Dict[int, KeyValueStore] = {}
+        self.processes: List[ProcessBase] = []
+        for process_id in range(self.protocol_config.total_processes()):
+            store = KeyValueStore(self.protocol_config.partition_of_process(process_id))
+            self.stores[process_id] = store
+            process = build_process(
+                config.protocol,
+                process_id,
+                self.protocol_config,
+                partitioner=self.partitioner,
+                quorum_system=self.quorum_system,
+                apply_fn=store.apply,
+                **config.protocol_kwargs,
+            )
+            self.processes.append(process)
+            site = self.sites[self.protocol_config.site_of_process(process_id)]
+            self.network.place(process_id, site)
+        self.simulation = Simulation(
+            self.processes,
+            self.network,
+            SimulationOptions(
+                tick_interval=5.0,
+                max_time=config.duration_ms + 5_000.0,
+            ),
+        )
+
+    def _process_latencies(self) -> Dict[int, Dict[int, float]]:
+        """Latency table between global processes, derived from their sites."""
+        config = self.protocol_config
+        table: Dict[int, Dict[int, float]] = {}
+        for a in range(config.total_processes()):
+            table[a] = {}
+            site_a = self.sites[config.site_of_process(a)]
+            for b in range(config.total_processes()):
+                site_b = self.sites[config.site_of_process(b)]
+                table[a][b] = self.latency_matrix.latency(site_a, site_b)
+        return table
+
+    def process_for(self, site_rank: int, shard: int) -> ProcessBase:
+        """The replica of ``shard`` hosted at the site with rank ``site_rank``."""
+        process_id = shard * self.protocol_config.num_processes + site_rank
+        return self.processes[process_id]
+
+
+def _build_workload(config: ExperimentConfig, client_id: int, deployment: _Deployment):
+    if config.workload == "ycsbt":
+        return YcsbTWorkload(
+            client_id=client_id,
+            shard_map=deployment.shard_map,
+            zipf=config.zipf,
+            write_ratio=config.write_ratio,
+            keys_per_shard=config.keys_per_shard,
+            payload_size=config.payload_size,
+            rng=SeededRng(config.seed * 10_007 + client_id),
+        )
+    return MicroWorkload(
+        client_id=client_id,
+        conflict_rate=config.conflict_rate,
+        payload_size=config.payload_size,
+        keys_per_command=config.keys_per_command,
+        read_ratio=config.read_ratio,
+        rng=SeededRng(config.seed * 10_007 + client_id),
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment and aggregate its metrics."""
+    deployment = _Deployment(config)
+    simulation = deployment.simulation
+    throughput = ThroughputTracker(warmup_ms=config.warmup_ms)
+    clients: List[ClosedLoopClient] = []
+
+    def make_submit(deployment: _Deployment):
+        def submit(client: ClosedLoopClient, keys: List[str], is_read: bool, now: float) -> Command:
+            shards = sorted({deployment.partitioner.partition_of(key) for key in keys})
+            target = deployment.process_for(client.site_rank, shards[0])
+            dot = target.dot_generator.next_id()
+            if is_read:
+                command = Command.read(
+                    dot, keys, payload_size=client.payload_size, client_id=client.client_id
+                )
+            else:
+                command = Command.write(
+                    dot, keys, payload_size=client.payload_size, client_id=client.client_id
+                )
+            # Client -> co-located replica delay is the local (intra-site)
+            # latency of the network.
+            delay = deployment.network.options.local_latency_ms
+            simulation.submit_at(now + delay, target.process_id, command)
+            return command
+
+        return submit
+
+    submit = make_submit(deployment)
+    client_id = 0
+    for site_rank, site in enumerate(deployment.sites):
+        for _ in range(config.clients_per_site):
+            workload = _build_workload(config, client_id, deployment)
+            client = ClosedLoopClient(
+                client_id=client_id,
+                site=site,
+                site_rank=site_rank,
+                workload=workload,
+                submit=submit,
+                stop_at=config.duration_ms,
+                warmup_ms=config.warmup_ms,
+                payload_size=config.payload_size,
+            )
+            clients.append(client)
+            deployment.network.place(client.endpoint, site)
+
+            def handler(sender: int, message: object, now: float, client=client, site=site) -> None:
+                client.on_reply(sender, message, now)
+                if now >= config.warmup_ms:
+                    throughput.record(now, site)
+
+            simulation.register_external(client.endpoint, handler)
+            client_id += 1
+
+    # Stagger client start times slightly so submissions do not all land on
+    # the same simulated instant.
+    rng = SeededRng(config.seed)
+    for client in clients:
+        start_delay = rng.uniform_between(0.0, 5.0)
+        simulation.schedule(start_delay, lambda now, client=client: client.start(now))
+
+    simulation.run(until=config.duration_ms + 4_000.0)
+
+    overall = LatencyHistogram()
+    per_site: Dict[str, LatencyHistogram] = {site: LatencyHistogram() for site in deployment.sites}
+    completed = 0
+    submitted = 0
+    for client in clients:
+        overall.merge(LatencyHistogram(client.latency.samples()))
+        per_site[client.site].merge(LatencyHistogram(client.latency.samples()))
+        completed += client.completed
+        submitted += client.submitted
+
+    result = ExperimentResult(
+        config=config,
+        latency=overall,
+        per_site_latency=per_site,
+        throughput_ops=throughput.ops_per_second(),
+        completed=completed,
+        submitted=submitted,
+        per_site_throughput=throughput.ops_per_second_per_site(),
+        stats={
+            "messages_sent": float(deployment.network.stats.messages_sent),
+            "bytes_sent": float(deployment.network.stats.bytes_sent),
+            "events": float(simulation.stats.events_processed),
+        },
+    )
+    return result

@@ -1,0 +1,154 @@
+"""Runtime-agnostic process abstraction.
+
+Every replication protocol in this repository (Tempo and the baselines) is a
+*message-driven state machine*: it reacts to messages and periodic ticks and
+appends outgoing messages to an outbox.  A runtime — the discrete-event
+simulator, the asyncio runtime, or a plain test — drives the state machine
+by delivering messages and draining the outbox.
+
+Self-addressed messages are delivered synchronously (the paper assumes
+"self-addressed messages are delivered immediately", §3.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.commands import Command
+from repro.core.config import ProtocolConfig
+from repro.core.identifiers import Dot
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """An outgoing message: who sends it, to whom, and what."""
+
+    sender: int
+    destination: int
+    message: object
+
+
+ExecutionListener = Callable[[int, Dot, Command, float], None]
+"""Callback ``(process_id, dot, command, now)`` invoked on command execution."""
+
+
+class ProcessBase(abc.ABC):
+    """Base class for protocol processes.
+
+    Subclasses implement :meth:`submit`, :meth:`on_message` and
+    :meth:`tick`; this class provides the outbox, execution bookkeeping and
+    the synchronous self-delivery used throughout the pseudocode.
+    """
+
+    def __init__(self, process_id: int, config: ProtocolConfig) -> None:
+        self.process_id = process_id
+        self.config = config
+        self.partition = config.partition_of_process(process_id)
+        self.outbox: List[Envelope] = []
+        self.executed: List[Tuple[Dot, Command]] = []
+        self._execution_listeners: List[ExecutionListener] = []
+        self.alive = True
+        #: Which peers this process currently believes to be alive; runtimes
+        #: (or tests) update it to emulate a failure detector.
+        self.alive_view: Dict[int, bool] = {}
+        #: Count of handled messages per kind, used by tests and the
+        #: resource model calibration.
+        self.message_counts: Dict[str, int] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_execution_listener(self, listener: ExecutionListener) -> None:
+        """Register a callback invoked whenever this process executes a
+        command."""
+        self._execution_listeners.append(listener)
+
+    def drain_outbox(self) -> List[Envelope]:
+        """Return and clear the pending outgoing messages."""
+        envelopes, self.outbox = self.outbox, []
+        return envelopes
+
+    def send(self, destinations: Iterable[int], message: object, now: float = 0.0) -> None:
+        """Queue ``message`` for each destination.
+
+        A copy addressed to this very process is handled immediately and
+        synchronously rather than queued, matching the paper's assumption
+        about self-addressed messages.
+        """
+        self_addressed = False
+        for destination in destinations:
+            if destination == self.process_id:
+                self_addressed = True
+            else:
+                self.outbox.append(Envelope(self.process_id, destination, message))
+        if self_addressed:
+            self.deliver(self.process_id, message, now)
+
+    # -- runtime entry points --------------------------------------------------
+
+    def deliver(self, sender: int, message: object, now: float = 0.0) -> None:
+        """Deliver one message to this process (crash-aware)."""
+        if not self.alive:
+            return
+        kind = type(message).__name__
+        self.message_counts[kind] = self.message_counts.get(kind, 0) + 1
+        self.on_message(sender, message, now)
+
+    @abc.abstractmethod
+    def submit(self, command: Command, now: float = 0.0) -> None:
+        """Submit a command at this process on behalf of a client."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: int, message: object, now: float) -> None:
+        """Handle one protocol message."""
+
+    def tick(self, now: float) -> None:
+        """Periodic processing (promise broadcast, stability, recovery).
+
+        The default implementation does nothing; protocols override it.
+        """
+
+    # -- failure injection ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash this process: it stops reacting to messages and ticks."""
+        self.alive = False
+
+    def recover_process(self) -> None:
+        """Un-crash the process (used only by tests; the paper assumes
+        crash-stop failures)."""
+        self.alive = True
+
+    def believes_alive(self, process: int) -> bool:
+        """Failure-detector view of ``process`` (defaults to alive)."""
+        return self.alive_view.get(process, True)
+
+    def set_alive_view(self, process: int, alive: bool) -> None:
+        """Update the failure-detector view for ``process``."""
+        self.alive_view[process] = alive
+
+    # -- execution bookkeeping ---------------------------------------------------
+
+    def record_execution(self, dot: Dot, command: Command, now: float) -> None:
+        """Record that this process executed ``command``."""
+        self.executed.append((dot, command))
+        for listener in self._execution_listeners:
+            listener(self.process_id, dot, command, now)
+
+    def executed_dots(self) -> List[Dot]:
+        """Identifiers executed so far, in execution order."""
+        return [dot for dot, _ in self.executed]
+
+    # -- introspection -----------------------------------------------------------
+
+    def partition_peers(self) -> Sequence[int]:
+        """Processes replicating the same partition (including self)."""
+        return self.config.processes_of_partition(self.partition)
+
+    def leader_of_partition(self) -> Optional[int]:
+        """Simple Omega-style leader: lowest-id peer believed alive."""
+        for peer in self.partition_peers():
+            if self.believes_alive(peer):
+                return peer
+        return None

@@ -1,0 +1,193 @@
+"""Protocol configuration shared by Tempo and the baseline protocols.
+
+The configuration captures the replication factor ``r`` per partition, the
+tolerated number of failures ``f`` (following Flexible Paxos,
+``1 <= f <= floor((r - 1) / 2)``), the number of partitions/shards and a few
+implementation knobs (batching, promise-broadcast interval, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Static configuration for a replicated deployment.
+
+    Attributes:
+        num_processes: total number of processes per partition (``r``).
+        faults: number of tolerated failures per partition (``f``).
+        num_partitions: number of partitions of the service state.
+        shards_per_partition: unused placeholder kept for API compatibility.
+        batching: whether commands are batched before being submitted.
+        batch_max_size: maximum number of commands per batch.
+        batch_max_delay: maximum delay, in milliseconds, before a batch is
+            flushed.
+        promise_interval: how often (milliseconds of simulated time) a
+            process broadcasts its promises (Algorithm 2, line 44).
+        stability_interval: how often a process runs the stability/execution
+            check (Algorithm 2, line 49).
+        recovery_timeout: how long (milliseconds) a pending command may stay
+            un-committed before a process attempts recovery.
+    """
+
+    num_processes: int = 3
+    faults: int = 1
+    num_partitions: int = 1
+    batching: bool = False
+    batch_max_size: int = 105
+    batch_max_delay: float = 5.0
+    promise_interval: float = 5.0
+    stability_interval: float = 5.0
+    recovery_timeout: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.num_processes < 1:
+            raise ValueError("num_processes must be >= 1")
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        max_f = (self.num_processes - 1) // 2
+        if not 1 <= self.faults <= max(max_f, 1):
+            raise ValueError(
+                f"faults must satisfy 1 <= f <= floor((r-1)/2) = {max_f} "
+                f"for r = {self.num_processes}; got {self.faults}"
+            )
+        if self.faults > max_f and self.num_processes > 1:
+            raise ValueError("faults too large for the replication factor")
+        if self.batch_max_size < 1:
+            raise ValueError("batch_max_size must be >= 1")
+        for name in ("batch_max_delay", "promise_interval", "stability_interval",
+                     "recovery_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def majority(self) -> int:
+        """Size of a simple majority: ``floor(r/2) + 1``."""
+        return self.num_processes // 2 + 1
+
+    @property
+    def fast_quorum_size(self) -> int:
+        """Tempo/Atlas fast quorum size: ``floor(r/2) + f``."""
+        return self.num_processes // 2 + self.faults
+
+    @property
+    def slow_quorum_size(self) -> int:
+        """Flexible-Paxos phase-2 quorum size: ``f + 1``."""
+        return self.faults + 1
+
+    @property
+    def recovery_quorum_size(self) -> int:
+        """Flexible-Paxos phase-1 (recovery) quorum size: ``r - f``."""
+        return self.num_processes - self.faults
+
+    @property
+    def epaxos_fast_quorum_size(self) -> int:
+        """EPaxos fast quorum size: ``floor(3r/4)`` (§6)."""
+        return (3 * self.num_processes) // 4
+
+    @property
+    def caesar_fast_quorum_size(self) -> int:
+        """Caesar fast quorum size: ``ceil(3r/4)`` (§6)."""
+        return -((-3 * self.num_processes) // 4)
+
+    def total_processes(self) -> int:
+        """Total number of processes across all partitions."""
+        return self.num_processes * self.num_partitions
+
+    def processes_of_partition(self, partition: int) -> List[int]:
+        """Global process identifiers replicating ``partition``.
+
+        Processes are numbered so that partition ``p`` is replicated by
+        processes ``p * r .. p * r + r - 1``.
+        """
+        if not 0 <= partition < self.num_partitions:
+            raise ValueError(f"partition {partition} out of range")
+        start = partition * self.num_processes
+        return list(range(start, start + self.num_processes))
+
+    def partition_of_process(self, process: int) -> int:
+        """Partition replicated by global process ``process``."""
+        if not 0 <= process < self.total_processes():
+            raise ValueError(f"process {process} out of range")
+        return process // self.num_processes
+
+    def rank_in_partition(self, process: int) -> int:
+        """Index of ``process`` within its partition (0..r-1)."""
+        return process % self.num_processes
+
+    def site_of_process(self, process: int) -> int:
+        """Site (region) hosting ``process``.
+
+        Processes with the same rank across partitions are co-located at the
+        same site, mirroring the paper's deployment where one machine per
+        region hosts one replica of every shard.
+        """
+        return self.rank_in_partition(process)
+
+    def colocated_processes(self, process: int) -> List[int]:
+        """All processes co-located at the same site as ``process``."""
+        rank = self.rank_in_partition(process)
+        return [
+            partition * self.num_processes + rank
+            for partition in range(self.num_partitions)
+        ]
+
+
+@dataclass
+class Deployment:
+    """A concrete deployment: configuration plus site names.
+
+    ``site_names[i]`` is the name of the site hosting the processes with
+    rank ``i`` in every partition.  The default names match the 5 EC2
+    regions used in the paper's evaluation.
+    """
+
+    config: ProtocolConfig
+    site_names: Sequence[str] = field(
+        default_factory=lambda: (
+            "ireland",
+            "n-california",
+            "singapore",
+            "canada",
+            "sao-paulo",
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.site_names) < self.config.num_processes:
+            raise ValueError(
+                "a deployment needs at least one site name per process rank"
+            )
+
+    def site_of(self, process: int) -> str:
+        """Name of the site hosting the given global process."""
+        return self.site_names[self.config.site_of_process(process)]
+
+    def processes_at_site(self, site: str) -> List[int]:
+        """Global process identifiers hosted at ``site``."""
+        try:
+            rank = list(self.site_names).index(site)
+        except ValueError as exc:
+            raise KeyError(f"unknown site {site!r}") from exc
+        return [
+            partition * self.config.num_processes + rank
+            for partition in range(self.config.num_partitions)
+            if rank < self.config.num_processes
+        ]
+
+    def sites(self) -> List[str]:
+        """Names of the sites actually used by this deployment."""
+        return list(self.site_names[: self.config.num_processes])
+
+    def site_latency_table(self) -> Dict[str, Dict[str, float]]:
+        """Convenience accessor for the EC2 latency matrix of Appendix A."""
+        from repro.simulator.latency import EC2_PING_LATENCIES
+
+        return {
+            a: dict(EC2_PING_LATENCIES[a]) for a in self.sites()
+        }

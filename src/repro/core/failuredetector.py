@@ -1,0 +1,158 @@
+"""Failure detection and leader election (§B.1).
+
+Tempo's liveness mechanisms rely on two oracles:
+
+* **Ω (leader election)** — eventually, all correct processes of a partition
+  nominate the same correct process as the leader; only the leader attempts
+  recovery of stuck commands, which avoids duelling coordinators.
+* **partition-covering detector** (written ``I^i_c`` in the paper) — for a
+  command ``c`` and a process ``i``, returns one *responsive* process per
+  partition accessed by ``c``, preferring nearby replicas.
+
+Both are trivially implementable under eventual synchrony.  This module
+implements them on top of heartbeats: each process periodically reports
+"alive"; a peer that has not been heard from within ``timeout_ms`` is
+suspected.  The detectors are deliberately independent from the protocol
+classes so that the simulator, the asyncio runtime and the tests can drive
+them explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import ProtocolConfig
+
+
+@dataclass
+class HeartbeatFailureDetector:
+    """Suspects processes that missed their heartbeat deadline.
+
+    Attributes:
+        timeout_ms: how long (in the caller's time unit, milliseconds by
+            convention) a process may stay silent before being suspected.
+    """
+
+    timeout_ms: float = 1_000.0
+    _last_heard: Dict[int, float] = field(default_factory=dict)
+    _forced_down: Dict[int, bool] = field(default_factory=dict)
+
+    def heartbeat(self, process: int, now: float) -> None:
+        """Record a heartbeat (or any message) from ``process``."""
+        previous = self._last_heard.get(process)
+        if previous is None or now > previous:
+            self._last_heard[process] = now
+
+    def force_down(self, process: int) -> None:
+        """Mark a process as permanently crashed (used by crash injection)."""
+        self._forced_down[process] = True
+
+    def force_up(self, process: int) -> None:
+        """Clear a forced-down mark (tests only)."""
+        self._forced_down.pop(process, None)
+
+    def is_suspected(self, process: int, now: float) -> bool:
+        """Whether ``process`` is currently suspected of having failed."""
+        if self._forced_down.get(process, False):
+            return True
+        last = self._last_heard.get(process)
+        if last is None:
+            # Never heard from: give it one full timeout from time zero.
+            return now > self.timeout_ms
+        return now - last > self.timeout_ms
+
+    def alive(self, processes: Iterable[int], now: float) -> List[int]:
+        """The subset of ``processes`` not currently suspected."""
+        return [process for process in processes if not self.is_suspected(process, now)]
+
+
+@dataclass
+class OmegaLeaderElection:
+    """Ω leader election for one partition.
+
+    The nominated leader is the lowest-identifier process of the partition
+    that is not suspected.  Under eventual synchrony the suspicion lists of
+    all correct processes converge, so the nominated leader eventually
+    stabilises on the same correct process everywhere — the property
+    Algorithm 6 needs.
+    """
+
+    config: ProtocolConfig
+    partition: int
+    detector: HeartbeatFailureDetector = field(default_factory=HeartbeatFailureDetector)
+
+    def members(self) -> List[int]:
+        return self.config.processes_of_partition(self.partition)
+
+    def leader(self, now: float) -> Optional[int]:
+        """The current nominee, or ``None`` if every member is suspected."""
+        for process in self.members():
+            if not self.detector.is_suspected(process, now):
+                return process
+        return None
+
+    def is_leader(self, process: int, now: float) -> bool:
+        return self.leader(now) == process
+
+
+@dataclass
+class PartitionCoveringDetector:
+    """The ``I^i_c`` oracle: one responsive replica per accessed partition.
+
+    Prefers the replica co-located with the caller (same rank), then falls
+    back to the lowest-latency unsuspected replica.
+    """
+
+    config: ProtocolConfig
+    detector: HeartbeatFailureDetector = field(default_factory=HeartbeatFailureDetector)
+    latencies: Optional[Dict[int, Dict[int, float]]] = None
+
+    def _distance(self, a: int, b: int) -> float:
+        if self.latencies is not None:
+            return float(self.latencies[a][b])
+        rank_a = self.config.rank_in_partition(a)
+        rank_b = self.config.rank_in_partition(b)
+        span = abs(rank_a - rank_b)
+        return float(min(span, self.config.num_processes - span))
+
+    def cover(self, caller: int, partitions: Sequence[int], now: float) -> Dict[int, int]:
+        """One unsuspected replica per partition, keyed by partition.
+
+        Raises ``RuntimeError`` when some partition has no unsuspected
+        replica (more than ``f`` failures — outside the model).
+        """
+        cover: Dict[int, int] = {}
+        for partition in partitions:
+            members = self.config.processes_of_partition(partition)
+            alive = [
+                member for member in members
+                if not self.detector.is_suspected(member, now)
+            ]
+            if not alive:
+                raise RuntimeError(
+                    f"partition {partition} has no responsive replica"
+                )
+            colocated = (
+                partition * self.config.num_processes
+                + self.config.rank_in_partition(caller)
+            )
+            if colocated in alive:
+                cover[partition] = colocated
+            else:
+                cover[partition] = min(
+                    alive, key=lambda member: (self._distance(caller, member), member)
+                )
+        return cover
+
+
+def wire_failure_detector(
+    processes,
+    detector: HeartbeatFailureDetector,
+    now: float,
+) -> None:
+    """Push the detector's current view into the ``alive_view`` of every
+    process (the hook :class:`repro.core.base.ProcessBase` exposes)."""
+    for process in processes:
+        for peer in process.partition_peers():
+            process.set_alive_view(peer, not detector.is_suspected(peer, now))

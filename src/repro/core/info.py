@@ -1,0 +1,77 @@
+"""Per-command bookkeeping kept by a Tempo process.
+
+One :class:`CommandInfo` record exists per command identifier seen by a
+process.  It aggregates the variables the pseudocode indexes by identifier:
+``cmd``, ``quorums``, ``phase``, ``ts``, ``bal``, ``abal`` plus the
+coordinator-side and execution-side bookkeeping (proposal acks, consensus
+acks, per-partition commits and MStable notifications).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.core.commands import Command
+from repro.core.phases import Phase, transition
+from repro.core.promises import Promise
+
+
+@dataclass
+class CommandInfo:
+    """All per-identifier state at a single process."""
+
+    command: Optional[Command] = None
+    quorums: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    phase: Phase = Phase.START
+    #: Local timestamp: the process's own proposal before commit, the
+    #: partition's committed timestamp after consensus, and the command's
+    #: final timestamp once the command reaches the commit phase.
+    timestamp: int = 0
+    ballot: int = 0
+    accepted_ballot: int = 0
+
+    # -- coordinator-side state -------------------------------------------------
+    proposals: Dict[int, int] = field(default_factory=dict)
+    collected_attached: Set[Promise] = field(default_factory=set)
+    collected_detached: Set[Promise] = field(default_factory=set)
+    consensus_acks: Dict[int, Set[int]] = field(default_factory=dict)
+    recovery_acks: Dict[int, Dict[int, Tuple[int, Phase, int]]] = field(
+        default_factory=dict
+    )
+    submitted_at: Optional[float] = None
+
+    # -- commit/execution-side state ---------------------------------------------
+    partition_commits: Dict[int, int] = field(default_factory=dict)
+    final_timestamp: Optional[int] = None
+    committed_at: Optional[float] = None
+    stable_sent: bool = False
+    stable_from: Set[int] = field(default_factory=set)
+    first_seen_at: Optional[float] = None
+
+    def move_to(self, new_phase: Phase) -> None:
+        """Transition to ``new_phase``, enforcing Figure 1."""
+        self.phase = transition(self.phase, new_phase)
+
+    @property
+    def is_pending(self) -> bool:
+        return self.phase.is_pending()
+
+    @property
+    def is_committed(self) -> bool:
+        return self.phase in (Phase.COMMIT, Phase.EXECUTE)
+
+    def accessed_partitions(self) -> FrozenSet[int]:
+        """Partitions accessed by the command, derived from the fast-quorum
+        mapping carried in the payload messages."""
+        return frozenset(self.quorums.keys())
+
+    def has_all_commits(self) -> bool:
+        """Whether a commit was received from every accessed partition."""
+        partitions = self.accessed_partitions()
+        return bool(partitions) and partitions <= set(self.partition_commits)
+
+    def has_all_stable(self) -> bool:
+        """Whether an MStable was received from every accessed partition."""
+        partitions = self.accessed_partitions()
+        return bool(partitions) and partitions <= self.stable_from

@@ -1,0 +1,263 @@
+"""Tempo protocol messages.
+
+Every message of Algorithms 1-6 is represented by a dataclass.  Messages
+know how to estimate their wire size (:meth:`Message.size_bytes`), which is
+what the resource/throughput model charges against the NIC budget.
+
+Naming follows the paper: ``MSubmit``, ``MPropose``, ``MProposeAck``,
+``MPayload``, ``MCommit``, ``MConsensus``, ``MConsensusAck``, ``MBump``,
+``MPromises``, ``MStable``, ``MRec``, ``MRecAck``, ``MRecNAck`` and
+``MCommitRequest``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.core.commands import Command
+from repro.core.identifiers import Dot
+from repro.core.phases import Phase
+from repro.core.promises import Promise
+
+#: Rough per-message framing overhead in bytes (headers, ids, enums).
+_HEADER_BYTES = 24
+#: Bytes charged per promise entry carried by a message.
+_PROMISE_BYTES = 12
+#: Bytes charged per quorum member entry.
+_QUORUM_ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages."""
+
+    dot: Dot
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size, used by the resource model."""
+        return _HEADER_BYTES
+
+    @property
+    def kind(self) -> str:
+        """Short message-kind name (the class name)."""
+        return type(self).__name__
+
+
+def _quorums_size(quorums: Mapping[int, Tuple[int, ...]]) -> int:
+    return sum(_QUORUM_ENTRY_BYTES * (1 + len(members)) for members in quorums.values())
+
+
+def _promises_size(promises: FrozenSet[Promise]) -> int:
+    return _PROMISE_BYTES * len(promises)
+
+
+@dataclass(frozen=True)
+class MSubmit(Message):
+    """Client-facing submission forwarded to the per-partition coordinators."""
+
+    command: Command
+    quorums: Mapping[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + _quorums_size(self.quorums)
+
+
+@dataclass(frozen=True)
+class MPropose(Message):
+    """Coordinator -> fast quorum: carry the payload and a timestamp proposal."""
+
+    command: Command
+    quorums: Mapping[int, Tuple[int, ...]]
+    timestamp: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + _quorums_size(self.quorums) + 8
+
+
+@dataclass(frozen=True)
+class MProposeAck(Message):
+    """Fast-quorum process -> coordinator: timestamp proposal (plus the
+    promises issued while computing it, piggybacked as in §3.2)."""
+
+    timestamp: int
+    attached: FrozenSet[Promise] = frozenset()
+    detached: FrozenSet[Promise] = frozenset()
+
+    def size_bytes(self) -> int:
+        return (
+            _HEADER_BYTES
+            + 8
+            + _promises_size(self.attached)
+            + _promises_size(self.detached)
+        )
+
+
+@dataclass(frozen=True)
+class MPayload(Message):
+    """Coordinator -> processes outside the fast quorum: payload only."""
+
+    command: Command
+    quorums: Mapping[int, Tuple[int, ...]]
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + _quorums_size(self.quorums)
+
+
+@dataclass(frozen=True)
+class MCommit(Message):
+    """Commit notification with the (per-partition) committed timestamp."""
+
+    timestamp: int
+    partition: int = 0
+    attached: FrozenSet[Promise] = frozenset()
+    detached: FrozenSet[Promise] = frozenset()
+
+    def size_bytes(self) -> int:
+        return (
+            _HEADER_BYTES
+            + 12
+            + _promises_size(self.attached)
+            + _promises_size(self.detached)
+        )
+
+
+@dataclass(frozen=True)
+class MConsensus(Message):
+    """Flexible-Paxos phase-2 message on the slow path / during recovery."""
+
+    timestamp: int
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16
+
+
+@dataclass(frozen=True)
+class MConsensusAck(Message):
+    """Acceptance of an :class:`MConsensus` proposal."""
+
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class MBump(Message):
+    """Fast-quorum process -> co-located replicas of the other partitions:
+    bump their clocks to this proposal (multi-partition optimisation, §4)."""
+
+    timestamp: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class MPromises(Message):
+    """Periodic broadcast of issued promises (Algorithm 2, line 45).
+
+    ``dot`` is unused for this message kind (promises are not tied to one
+    command); a sentinel dot identifying the sender is used instead.
+    """
+
+    detached: FrozenSet[Promise] = frozenset()
+    attached: Mapping[Dot, FrozenSet[Promise]] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        attached_count = sum(len(promises) for promises in self.attached.values())
+        return _HEADER_BYTES + _PROMISE_BYTES * (len(self.detached) + attached_count)
+
+
+@dataclass(frozen=True)
+class MStable(Message):
+    """Per-partition stability notification for a multi-partition command."""
+
+    partition: int = 0
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 4
+
+
+@dataclass(frozen=True)
+class MRec(Message):
+    """Recovery phase-1 message (Algorithm 4)."""
+
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class MRecAck(Message):
+    """Reply to :class:`MRec` carrying the local timestamp, phase and the
+    ballot at which a consensus value was last accepted."""
+
+    timestamp: int
+    phase: Phase
+    accepted_ballot: int
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 24
+
+
+@dataclass(frozen=True)
+class MRecNAck(Message):
+    """Negative acknowledgement telling the recovering leader to retry with a
+    higher ballot (Algorithm 6, liveness mechanism)."""
+
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class MCommitRequest(Message):
+    """Ask a process that already committed ``dot`` to re-send its payload
+    and commit information (Algorithm 6, liveness mechanism)."""
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ClientSubmit(Message):
+    """Client -> closest process: submit a command."""
+
+    command: Command
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size
+
+
+@dataclass(frozen=True)
+class ClientReply(Message):
+    """Process -> client: the command was executed; return values omitted."""
+
+    result: Optional[Dict[str, Optional[str]]] = None
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16
+
+
+#: All Tempo protocol message classes, useful for dispatch tables and tests.
+TEMPO_MESSAGE_TYPES = (
+    MSubmit,
+    MPropose,
+    MProposeAck,
+    MPayload,
+    MCommit,
+    MConsensus,
+    MConsensusAck,
+    MBump,
+    MPromises,
+    MStable,
+    MRec,
+    MRecAck,
+    MRecNAck,
+    MCommitRequest,
+)

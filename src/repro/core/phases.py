@@ -1,0 +1,80 @@
+"""Command phases (Figure 1 of the paper).
+
+A command travels through the following phases at each process::
+
+    start -> payload -> recover-r --.
+    start -> propose -> recover-p --+--> commit -> execute
+
+``pending`` is defined as the union of payload, propose, recover-r and
+recover-p (the phases in which the command is known but not yet committed).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class Phase(enum.Enum):
+    """Phase of a command at a process."""
+
+    START = "start"
+    PAYLOAD = "payload"
+    PROPOSE = "propose"
+    RECOVER_R = "recover-r"
+    RECOVER_P = "recover-p"
+    COMMIT = "commit"
+    EXECUTE = "execute"
+
+    def is_pending(self) -> bool:
+        """True for phases in the paper's ``pending`` set."""
+        return self in _PENDING
+
+    def is_terminal(self) -> bool:
+        """True once the command has been executed."""
+        return self is Phase.EXECUTE
+
+    def can_transition_to(self, new: "Phase") -> bool:
+        """Whether the phase transition ``self -> new`` is allowed.
+
+        The allowed transitions follow Figure 1 of the paper.
+        """
+        return new in _TRANSITIONS[self]
+
+
+_PENDING: FrozenSet[Phase] = frozenset(
+    {Phase.PAYLOAD, Phase.PROPOSE, Phase.RECOVER_R, Phase.RECOVER_P}
+)
+
+_TRANSITIONS = {
+    Phase.START: frozenset({Phase.PAYLOAD, Phase.PROPOSE, Phase.COMMIT}),
+    Phase.PAYLOAD: frozenset({Phase.RECOVER_R, Phase.COMMIT}),
+    Phase.PROPOSE: frozenset({Phase.RECOVER_P, Phase.COMMIT}),
+    Phase.RECOVER_R: frozenset({Phase.RECOVER_P, Phase.COMMIT}),
+    Phase.RECOVER_P: frozenset({Phase.RECOVER_R, Phase.COMMIT}),
+    Phase.COMMIT: frozenset({Phase.EXECUTE}),
+    Phase.EXECUTE: frozenset(),
+}
+
+
+class InvalidPhaseTransition(RuntimeError):
+    """Raised when a command attempts an illegal phase transition."""
+
+    def __init__(self, current: Phase, new: Phase) -> None:
+        super().__init__(f"invalid phase transition {current.value} -> {new.value}")
+        self.current = current
+        self.new = new
+
+
+def transition(current: Phase, new: Phase) -> Phase:
+    """Validate and perform a phase transition.
+
+    Raises :class:`InvalidPhaseTransition` if the transition is not allowed
+    by Figure 1.  ``start -> commit`` is allowed because a process may learn
+    about a command directly from an ``MCommit`` message.
+    """
+    if current is new:
+        return current
+    if not current.can_transition_to(new):
+        raise InvalidPhaseTransition(current, new)
+    return new

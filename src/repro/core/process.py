@@ -1,0 +1,662 @@
+"""The Tempo process: commit, execution and multi-partition protocols.
+
+This module implements Algorithms 1-3 and 5-6 of the paper as a single
+message-driven state machine, :class:`TempoProcess`.  Recovery (Algorithm 4)
+lives in :mod:`repro.core.recovery` and is mixed in.
+
+A :class:`TempoProcess` replicates exactly one partition.  Multi-partition
+commands are handled by running the commit protocol independently at every
+accessed partition and combining the per-partition timestamps with ``max``
+(Algorithm 3); execution additionally waits for an ``MStable`` notification
+from every accessed partition, which enforces the real-time order of PSMR.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.base import ProcessBase
+from repro.core.clock import LogicalClock
+from repro.core.commands import Command, Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.identifiers import Dot, DotGenerator
+from repro.core.info import CommandInfo
+from repro.core.messages import (
+    ClientReply,
+    MBump,
+    MCommit,
+    MCommitRequest,
+    MConsensus,
+    MConsensusAck,
+    MPayload,
+    MPromises,
+    MPropose,
+    MProposeAck,
+    MRec,
+    MRecAck,
+    MRecNAck,
+    MStable,
+    MSubmit,
+)
+from repro.core.phases import Phase
+from repro.core.promises import Promise, PromiseSet, PromiseTracker
+from repro.core.quorums import QuorumSystem
+from repro.core.recovery import RecoveryMixin
+
+ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
+
+
+class TempoProcess(RecoveryMixin, ProcessBase):
+    """A Tempo replica of one partition.
+
+    Args:
+        process_id: global process identifier.
+        config: deployment configuration (``r``, ``f``, partitions, ...).
+        partitioner: key-to-partition mapping used to derive the partitions a
+            command accesses.
+        quorum_system: optional pre-built quorum system (e.g. latency-aware);
+            a rank-distance one is built by default.
+        apply_fn: optional callable invoked with each command when it is
+            executed (e.g. to apply it to a key-value store).
+    """
+
+    def __init__(
+        self,
+        process_id: int,
+        config: ProtocolConfig,
+        partitioner: Optional[Partitioner] = None,
+        quorum_system: Optional[QuorumSystem] = None,
+        apply_fn: Optional[ApplyFn] = None,
+        ack_broadcast: bool = True,
+    ) -> None:
+        super().__init__(process_id, config)
+        self.partitioner = partitioner or Partitioner(config.num_partitions)
+        self.quorum_system = quorum_system or QuorumSystem(config)
+        self.apply_fn = apply_fn
+        #: Implementation-level optimisation (documented in DESIGN.md):
+        #: fast-quorum members send their MProposeAck to the whole fast
+        #: quorum, so every member can detect the fast-path commit locally
+        #: instead of waiting for the coordinator's MCommit.  This removes a
+        #: wide-area round trip from the stability-detection path and is what
+        #: lets execution happen essentially at commit time, as in the
+        #: paper's evaluation.  Safety is unaffected: every member computes
+        #: the same timestamp from the same set of proposals and only
+        #: self-commits when the fast-path condition holds.
+        self.ack_broadcast = ack_broadcast
+        self.clock = LogicalClock()
+        self.tracker = PromiseTracker(process_id)
+        self.promises = PromiseSet()
+        self.dot_generator = DotGenerator(process_id)
+        self._info: Dict[Dot, CommandInfo] = {}
+        #: Attached promises received for identifiers not yet committed here.
+        self._buffered_attached: Dict[Dot, Set[Promise]] = {}
+        #: Committed-but-not-executed identifiers and their final timestamps.
+        self._committed: Dict[Dot, int] = {}
+        #: Identifiers for which an MCommitRequest was already sent.
+        self._commit_requested: Set[Dot] = set()
+        self._last_promise_broadcast = float("-inf")
+        self._last_stability_check = float("-inf")
+
+    # ------------------------------------------------------------------ helpers
+
+    def info(self, dot: Dot) -> CommandInfo:
+        """Bookkeeping record for ``dot``, creating it on first use."""
+        record = self._info.get(dot)
+        if record is None:
+            record = CommandInfo()
+            self._info[dot] = record
+        return record
+
+    def phase_of(self, dot: Dot) -> Phase:
+        """Current phase of ``dot`` at this process."""
+        record = self._info.get(dot)
+        return record.phase if record is not None else Phase.START
+
+    def committed_timestamp(self, dot: Dot) -> Optional[int]:
+        """Final timestamp of ``dot`` if committed or executed here."""
+        record = self._info.get(dot)
+        if record is None or not record.is_committed:
+            return None
+        return record.final_timestamp
+
+    def new_command(
+        self,
+        keys: Sequence[str],
+        payload_size: int = 100,
+        client_id: Optional[int] = None,
+    ) -> Command:
+        """Create a fresh write command with an identifier minted here."""
+        return Command.write(
+            self.dot_generator.next_id(),
+            keys,
+            payload_size=payload_size,
+            client_id=client_id,
+        )
+
+    def _command_partitions(self, command: Command) -> List[int]:
+        return sorted(command.partitions(self.partitioner))
+
+    def _processes_of(self, partitions: Sequence[int]) -> List[int]:
+        """All processes replicating any of ``partitions`` (the set ``I_c``)."""
+        members: List[int] = []
+        for partition in partitions:
+            members.extend(self.config.processes_of_partition(partition))
+        return members
+
+    def _colocated_coordinators(self, partitions: Sequence[int]) -> Dict[int, int]:
+        """One nearby process per accessed partition (the set ``I^i_c``)."""
+        return self.quorum_system.coordinators_for(self.process_id, partitions)
+
+    def _absorb_own_issue(
+        self, dot: Dot, attached_timestamp: int, detached: Sequence[int]
+    ) -> None:
+        """Account locally for promises this process just issued.
+
+        Detached promises become known immediately; the attached promise is
+        buffered until the command commits (Algorithm 2, line 47 applies to
+        local promises too).
+        """
+        self.promises.add_all(
+            Promise(self.process_id, timestamp) for timestamp in detached
+        )
+        self._buffered_attached.setdefault(dot, set()).add(
+            Promise(self.process_id, attached_timestamp)
+        )
+
+    def _absorb_detached(self, detached: Sequence[int]) -> None:
+        self.promises.add_all(
+            Promise(self.process_id, timestamp) for timestamp in detached
+        )
+
+    # ------------------------------------------------------------------ submit
+
+    def submit(self, command: Command, now: float = 0.0) -> None:
+        """Submit ``command`` on behalf of a client (Algorithm 1, line 1).
+
+        The submitting process must replicate one of the accessed
+        partitions.
+        """
+        partitions = self._command_partitions(command)
+        if self.partition not in partitions:
+            raise ValueError(
+                f"process {self.process_id} (partition {self.partition}) cannot "
+                f"submit a command accessing partitions {partitions}"
+            )
+        coordinators = self._colocated_coordinators(partitions)
+        quorums = {
+            partition: tuple(
+                self.quorum_system.fast_quorum(coordinator, partition)
+            )
+            for partition, coordinator in coordinators.items()
+        }
+        record = self.info(command.dot)
+        record.submitted_at = now
+        message = MSubmit(command.dot, command, quorums)
+        self.send(sorted(set(coordinators.values())), message, now)
+
+    # ------------------------------------------------------------------ dispatch
+
+    def on_message(self, sender: int, message: object, now: float) -> None:
+        if isinstance(message, MSubmit):
+            self._on_submit(sender, message, now)
+        elif isinstance(message, MPropose):
+            self._on_propose(sender, message, now)
+        elif isinstance(message, MProposeAck):
+            self._on_propose_ack(sender, message, now)
+        elif isinstance(message, MPayload):
+            self._on_payload(sender, message, now)
+        elif isinstance(message, MCommit):
+            self._on_commit(sender, message, now)
+        elif isinstance(message, MConsensus):
+            self._on_consensus(sender, message, now)
+        elif isinstance(message, MConsensusAck):
+            self._on_consensus_ack(sender, message, now)
+        elif isinstance(message, MBump):
+            self._on_bump(sender, message, now)
+        elif isinstance(message, MPromises):
+            self._on_promises(sender, message, now)
+        elif isinstance(message, MStable):
+            self._on_stable(sender, message, now)
+        elif isinstance(message, MRec):
+            self._on_rec(sender, message, now)
+        elif isinstance(message, MRecAck):
+            self._on_rec_ack(sender, message, now)
+        elif isinstance(message, MRecNAck):
+            self._on_rec_nack(sender, message, now)
+        elif isinstance(message, MCommitRequest):
+            self._on_commit_request(sender, message, now)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    # ------------------------------------------------------------------ commit protocol
+
+    def _on_submit(self, sender: int, message: MSubmit, now: float) -> None:
+        """Start coordinating the command at this partition (line 5)."""
+        dot = message.dot
+        command = message.command
+        quorums = dict(message.quorums)
+        fast_quorum = quorums[self.partition]
+        timestamp = self.clock.value + 1
+        record = self.info(dot)
+        if record.first_seen_at is None:
+            record.first_seen_at = now
+        propose = MPropose(dot, command, quorums, timestamp)
+        self.send(fast_quorum, propose, now)
+        others = [
+            process
+            for process in self.partition_peers()
+            if process not in fast_quorum
+        ]
+        if others:
+            self.send(others, MPayload(dot, command, quorums), now)
+
+    def _on_payload(self, sender: int, message: MPayload, now: float) -> None:
+        """Store the payload of a command outside the fast quorum (line 9)."""
+        record = self.info(message.dot)
+        if record.phase is not Phase.START:
+            return
+        record.command = message.command
+        record.quorums = dict(message.quorums)
+        record.first_seen_at = record.first_seen_at or now
+        record.move_to(Phase.PAYLOAD)
+        self._maybe_commit(message.dot, now)
+
+    def _on_propose(self, sender: int, message: MPropose, now: float) -> None:
+        """Compute a timestamp proposal as a fast-quorum member (line 12)."""
+        dot = message.dot
+        record = self.info(dot)
+        if record.phase is not Phase.START:
+            return
+        record.command = message.command
+        record.quorums = dict(message.quorums)
+        record.first_seen_at = record.first_seen_at or now
+        record.move_to(Phase.PROPOSE)
+        result = self.clock.proposal(message.timestamp)
+        record.timestamp = result.timestamp
+        self.tracker.add_detached(result.detached)
+        self.tracker.add_attached(dot, result.timestamp)
+        self._absorb_own_issue(dot, result.timestamp, result.detached)
+        ack = MProposeAck(
+            dot,
+            timestamp=result.timestamp,
+            attached=frozenset({Promise(self.process_id, result.timestamp)}),
+            detached=frozenset(
+                Promise(self.process_id, timestamp) for timestamp in result.detached
+            ),
+        )
+        if self.ack_broadcast:
+            # Send the ack to the whole fast quorum so every member can
+            # detect the fast-path commit without the coordinator round.
+            targets = sorted(set(record.quorums.get(self.partition, (sender,))))
+            self.send(targets, ack, now)
+        else:
+            self.send([sender], ack, now)
+        # Multi-partition optimisation (§4, "faster stability"): tell the
+        # co-located replicas of the other accessed partitions about this
+        # proposal so they can bump their clocks early.
+        partitions = [
+            partition
+            for partition in record.quorums
+            if partition != self.partition
+        ]
+        if partitions:
+            coordinators = self._colocated_coordinators(partitions)
+            targets = sorted(set(coordinators.values()) - {self.process_id})
+            if targets:
+                self.send(targets, MBump(dot, result.timestamp), now)
+
+    def _on_bump(self, sender: int, message: MBump, now: float) -> None:
+        """Bump the clock on behalf of another partition's proposal (§4)."""
+        record = self._info.get(message.dot)
+        if record is None or record.phase is not Phase.PROPOSE:
+            return
+        result = self.clock.bump(message.timestamp)
+        self.tracker.add_detached(result.detached)
+        self._absorb_detached(result.detached)
+
+    def _on_propose_ack(self, sender: int, message: MProposeAck, now: float) -> None:
+        """Collect fast-quorum proposals (line 17).
+
+        The coordinator always handles this message.  With ``ack_broadcast``
+        enabled every fast-quorum member also receives the acks and, when
+        the fast-path condition holds, commits its partition's timestamp
+        locally without waiting for the coordinator's MCommit.
+        """
+        dot = message.dot
+        record = self._info.get(dot)
+        if record is None or record.phase is not Phase.PROPOSE:
+            return
+        record.proposals[sender] = message.timestamp
+        record.collected_attached.update(message.attached)
+        record.collected_detached.update(message.detached)
+        fast_quorum = record.quorums.get(self.partition, ())
+        if set(fast_quorum) - set(record.proposals):
+            return
+        proposals = [record.proposals[process] for process in fast_quorum]
+        timestamp = max(proposals)
+        count = sum(1 for proposal in proposals if proposal == timestamp)
+        is_coordinator = bool(fast_quorum) and fast_quorum[0] == self.process_id
+        if count >= self.config.faults:
+            if is_coordinator:
+                self._broadcast_commit(dot, record, timestamp, now)
+            else:
+                self._local_fast_commit(dot, record, timestamp, now)
+        elif is_coordinator:
+            ballot = self._own_ballot()
+            record.ballot = ballot
+            self.send(
+                self.partition_peers(), MConsensus(dot, timestamp, ballot), now
+            )
+
+    def _local_fast_commit(
+        self, dot: Dot, record: CommandInfo, timestamp: int, now: float
+    ) -> None:
+        """A non-coordinator fast-quorum member observed the fast-path commit
+        for its own partition (``ack_broadcast`` optimisation)."""
+        peers = set(self.partition_peers())
+        for promise in record.collected_detached:
+            if promise.process in peers:
+                self.promises.add(promise)
+        for promise in record.collected_attached:
+            if promise.process in peers:
+                self._buffered_attached.setdefault(dot, set()).add(promise)
+        record.partition_commits[self.partition] = max(
+            record.partition_commits.get(self.partition, 0), timestamp
+        )
+        self._maybe_commit(dot, now)
+
+    def _broadcast_commit(
+        self, dot: Dot, record: CommandInfo, timestamp: int, now: float
+    ) -> None:
+        """Send MCommit for this partition to every process in ``I_c``."""
+        commit = MCommit(
+            dot,
+            timestamp=timestamp,
+            partition=self.partition,
+            attached=frozenset(record.collected_attached),
+            detached=frozenset(record.collected_detached),
+        )
+        targets = self._processes_of(sorted(record.quorums))
+        self.send(sorted(set(targets)), commit, now)
+
+    def _on_consensus(self, sender: int, message: MConsensus, now: float) -> None:
+        """Accept a Flexible-Paxos phase-2 proposal (line 26)."""
+        dot = message.dot
+        record = self.info(dot)
+        if record.ballot > message.ballot:
+            self.send([sender], MRecNAck(dot, record.ballot), now)
+            return
+        record.timestamp = message.timestamp
+        record.ballot = message.ballot
+        record.accepted_ballot = message.ballot
+        result = self.clock.bump(message.timestamp)
+        self.tracker.add_detached(result.detached)
+        self._absorb_detached(result.detached)
+        self.send([sender], MConsensusAck(dot, message.ballot), now)
+
+    def _on_consensus_ack(self, sender: int, message: MConsensusAck, now: float) -> None:
+        """Commit once a slow quorum accepted the proposal (line 31)."""
+        dot = message.dot
+        record = self._info.get(dot)
+        if record is None:
+            return
+        acks = record.consensus_acks.setdefault(message.ballot, set())
+        acks.add(sender)
+        if record.ballot != message.ballot:
+            return
+        if len(acks) < self.config.slow_quorum_size:
+            return
+        if record.is_committed:
+            return
+        self._broadcast_commit(dot, record, record.timestamp, now)
+
+    def _on_commit(self, sender: int, message: MCommit, now: float) -> None:
+        """Record a per-partition commit; commit once all partitions did."""
+        dot = message.dot
+        record = self.info(dot)
+        record.partition_commits[message.partition] = max(
+            record.partition_commits.get(message.partition, 0), message.timestamp
+        )
+        # Piggybacked promises: only promises issued by processes of this
+        # partition matter for the local stability detection.
+        peers = set(self.partition_peers())
+        for promise in message.detached:
+            if promise.process in peers:
+                self.promises.add(promise)
+        for promise in message.attached:
+            if promise.process in peers:
+                self._buffered_attached.setdefault(dot, set()).add(promise)
+        self._maybe_commit(dot, now)
+
+    def _maybe_commit(self, dot: Dot, now: float) -> None:
+        """Move ``dot`` to the commit phase once every accessed partition has
+        reported a committed timestamp (Algorithm 3, line 56)."""
+        record = self._info.get(dot)
+        if record is None or record.is_committed or not record.is_pending:
+            return
+        partitions = record.accessed_partitions()
+        if not partitions or not partitions <= set(record.partition_commits):
+            return
+        final = max(record.partition_commits[partition] for partition in partitions)
+        record.final_timestamp = final
+        record.timestamp = final
+        record.committed_at = now
+        record.move_to(Phase.COMMIT)
+        self._committed[dot] = final
+        result = self.clock.bump(final)
+        self.tracker.add_detached(result.detached)
+        self._absorb_detached(result.detached)
+        # Attached promises for this identifier become usable now (line 47).
+        for promise in self._buffered_attached.pop(dot, set()):
+            self.promises.add(promise)
+        # Committing may immediately make new timestamps stable (the
+        # piggybacked promises typically suffice); react right away instead
+        # of waiting for the next periodic check.
+        self.stability_check(now)
+
+    # ------------------------------------------------------------------ execution protocol
+
+    def _on_promises(self, sender: int, message: MPromises, now: float) -> None:
+        """Absorb promises broadcast by a peer (Algorithm 2, line 46)."""
+        self.promises.add_all(message.detached)
+        for dot, attached in message.attached.items():
+            record = self._info.get(dot)
+            if record is not None and record.is_committed:
+                self.promises.add_all(attached)
+            else:
+                self._buffered_attached.setdefault(dot, set()).update(attached)
+                self._request_commit_info(dot, now)
+        self.stability_check(now)
+
+    def _request_commit_info(self, dot: Dot, now: float) -> None:
+        """Ask peers for the payload/commit of an identifier we only know
+        through attached promises (Algorithm 6, line 96)."""
+        if dot in self._commit_requested:
+            return
+        record = self._info.get(dot)
+        if record is not None and record.is_committed:
+            return
+        self._commit_requested.add(dot)
+        targets = [
+            process for process in self.partition_peers()
+            if process != self.process_id
+        ]
+        if targets:
+            self.send(targets, MCommitRequest(dot), now)
+
+    def _on_commit_request(self, sender: int, message: MCommitRequest, now: float) -> None:
+        """Re-send payload and commit information (Algorithm 6, line 86)."""
+        dot = message.dot
+        record = self._info.get(dot)
+        if record is None or not record.is_committed or record.command is None:
+            return
+        self.send([sender], MPayload(dot, record.command, dict(record.quorums)), now)
+        final = record.final_timestamp or record.timestamp
+        for partition in sorted(record.accessed_partitions()):
+            self.send([sender], MCommit(dot, timestamp=final, partition=partition), now)
+
+    def _on_stable(self, sender: int, message: MStable, now: float) -> None:
+        """Record a per-partition stability notification (Algorithm 6)."""
+        record = self.info(message.dot)
+        record.stable_from.add(message.partition)
+        self._try_execute(now)
+
+    def broadcast_promises(self, now: float = 0.0) -> None:
+        """Broadcast newly issued promises to the partition (line 44)."""
+        if not self.tracker.has_pending():
+            return
+        detached, attached = self.tracker.snapshot(drain=True)
+        message = MPromises(
+            Dot(self.process_id, self.dot_generator.peek().sequence),
+            detached=detached,
+            attached=attached,
+        )
+        targets = [
+            process for process in self.partition_peers()
+            if process != self.process_id
+        ]
+        if targets:
+            self.send(targets, message, now)
+
+    def stability_check(self, now: float = 0.0) -> None:
+        """Detect stable timestamps and drive execution (lines 49 & 97)."""
+        stable_up_to = self.promises.stable_timestamp(self.partition_peers())
+        ready = sorted(
+            (timestamp, dot)
+            for dot, timestamp in self._committed.items()
+            if timestamp <= stable_up_to
+        )
+        for timestamp, dot in ready:
+            record = self._info[dot]
+            if record.stable_sent:
+                continue
+            record.stable_sent = True
+            targets = sorted(set(self._processes_of(sorted(record.accessed_partitions()))))
+            self.send(targets, MStable(dot, partition=self.partition), now)
+        self._try_execute(now)
+
+    def _try_execute(self, now: float) -> None:
+        """Execute stable commands in timestamp order (Algorithm 6 loop).
+
+        Commands are executed strictly in ``(timestamp, id)`` order; a
+        command whose ``MStable`` set is incomplete blocks the ones after it,
+        exactly like the blocking wait of Algorithm 6, line 102.
+        """
+        while True:
+            queue = sorted(
+                (timestamp, dot)
+                for dot, timestamp in self._committed.items()
+                if self._info[dot].stable_sent
+            )
+            if not queue:
+                return
+            _, dot = queue[0]
+            record = self._info[dot]
+            if not record.has_all_stable():
+                return
+            self._execute(dot, record, now)
+
+    def _execute(self, dot: Dot, record: CommandInfo, now: float) -> None:
+        command = record.command
+        if command is None:
+            raise RuntimeError(f"executing {dot} without a payload")
+        result = self.apply_fn(command) if self.apply_fn is not None else None
+        record.move_to(Phase.EXECUTE)
+        del self._committed[dot]
+        self.record_execution(dot, command, now)
+        if command.client_id is not None and record.submitted_at is not None:
+            # This process submitted the command: reply to the client.
+            # Clients are addressed with negative identifiers by the cluster
+            # layer; the runtime routes this envelope.
+            self.outbox.append(self._client_reply(dot, command, result))
+
+    def _client_reply(self, dot: Dot, command: Command, result):
+        from repro.core.base import Envelope
+
+        return Envelope(
+            sender=self.process_id,
+            destination=-(command.client_id + 1),
+            message=ClientReply(dot, result=result),
+        )
+
+    # ------------------------------------------------------------------ periodic work
+
+    def tick(self, now: float) -> None:
+        """Periodic duties: promise broadcast, stability, liveness, recovery."""
+        if now - self._last_promise_broadcast >= self.config.promise_interval:
+            self._last_promise_broadcast = now
+            self.broadcast_promises(now)
+        if now - self._last_stability_check >= self.config.stability_interval:
+            self._last_stability_check = now
+            self.stability_check(now)
+        self._recovery_tick(now)
+
+    def _recovery_tick(self, now: float) -> None:
+        """Attempt recovery of stuck pending commands (Algorithm 6, line 75)."""
+        for dot, record in list(self._info.items()):
+            if not record.is_pending:
+                continue
+            first_seen = record.first_seen_at
+            if first_seen is None or now - first_seen < self.config.recovery_timeout:
+                continue
+            if record.command is not None and record.quorums:
+                # Re-broadcast the payload so every correct process learns it.
+                targets = [
+                    process
+                    for process in self._processes_of(sorted(record.quorums))
+                    if process != self.process_id
+                ]
+                if targets:
+                    self.send(
+                        targets,
+                        MPayload(dot, record.command, dict(record.quorums)),
+                        now,
+                    )
+            if self._should_attempt_recovery(dot):
+                self.recover(dot, now)
+
+    # ------------------------------------------------------------------ introspection
+
+    def compact(self) -> int:
+        """Reclaim memory for fully executed commands.
+
+        Drops the payload and coordinator-side bookkeeping of commands that
+        have been executed locally and whose timestamp is below the current
+        stable timestamp (every correct process already knows about them),
+        and garbage-collects the corresponding issued promises (footnote 2
+        of the paper).  Returns the number of command records compacted.
+        The phase map itself is retained so duplicate messages keep being
+        ignored.
+        """
+        stable = self.stable_timestamp()
+        compacted = 0
+        executed_dots = []
+        for dot, record in self._info.items():
+            if record.phase is not Phase.EXECUTE:
+                continue
+            timestamp = record.final_timestamp or record.timestamp
+            if timestamp > stable:
+                continue
+            executed_dots.append(dot)
+            if record.command is not None or record.proposals:
+                record.command = None
+                record.proposals = {}
+                record.collected_attached = set()
+                record.collected_detached = set()
+                record.consensus_acks = {}
+                record.recovery_acks = {}
+                compacted += 1
+        self.tracker.garbage_collect(stable, executed_dots)
+        return compacted
+
+    def pending_dots(self) -> List[Dot]:
+        """Identifiers currently in a pending phase."""
+        return [dot for dot, record in self._info.items() if record.is_pending]
+
+    def committed_dots(self) -> List[Dot]:
+        """Identifiers committed (or executed) at this process."""
+        return [dot for dot, record in self._info.items() if record.is_committed]
+
+    def stable_timestamp(self) -> int:
+        """Currently known highest stable timestamp (Theorem 1)."""
+        return self.promises.stable_timestamp(self.partition_peers())

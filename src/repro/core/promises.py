@@ -1,0 +1,207 @@
+"""Promises and the promise-tracking data structures (§3.2).
+
+A *promise* ``<j, u>`` states that process ``j`` will never again propose
+timestamp ``u`` for any new command:
+
+* an **attached** promise is tied to a specific command (process ``j``
+  proposed ``u`` for that command);
+* a **detached** promise is not tied to any command (the process skipped
+  timestamp ``u`` when bumping its clock).
+
+The execution protocol collects promises from the other processes of the
+partition into a ``Promises`` set and derives, per process, the *highest
+contiguous promise* — the largest ``c`` such that all of ``<j, 1> .. <j, c>``
+are known.  Stability of a timestamp follows from Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.core.identifiers import Dot
+
+
+@dataclass(frozen=True, order=True)
+class Promise:
+    """A promise ``<process, timestamp>``."""
+
+    process: int
+    timestamp: int
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 1:
+            raise ValueError("promise timestamps start at 1")
+        if self.process < 0:
+            raise ValueError("process identifiers are non-negative")
+
+
+class PromiseTracker:
+    """Per-process accumulator of locally *issued* promises.
+
+    Mirrors the ``Detached`` set and the ``Attached`` mapping of Algorithm 1
+    at a single process.  Promises are drained when broadcast so each promise
+    is, in the common case, sent only once (footnote 2 of the paper); the
+    full set is retained for re-broadcast on demand (e.g. after suspected
+    message loss).
+    """
+
+    def __init__(self, process: int) -> None:
+        self.process = process
+        self._detached: Set[Promise] = set()
+        self._attached: Dict[Dot, Set[Promise]] = {}
+        self._pending_detached: Set[Promise] = set()
+        self._pending_attached: Dict[Dot, Set[Promise]] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def add_detached(self, timestamps: Iterable[int]) -> None:
+        """Record detached promises for the given timestamps."""
+        for timestamp in timestamps:
+            promise = Promise(self.process, timestamp)
+            if promise not in self._detached:
+                self._detached.add(promise)
+                self._pending_detached.add(promise)
+
+    def add_attached(self, dot: Dot, timestamp: int) -> None:
+        """Record the attached promise for a proposal on command ``dot``."""
+        promise = Promise(self.process, timestamp)
+        self._attached.setdefault(dot, set()).add(promise)
+        self._pending_attached.setdefault(dot, set()).add(promise)
+
+    # -- inspection -----------------------------------------------------------
+
+    def detached(self) -> FrozenSet[Promise]:
+        return frozenset(self._detached)
+
+    def attached(self) -> Dict[Dot, FrozenSet[Promise]]:
+        return {dot: frozenset(promises) for dot, promises in self._attached.items()}
+
+    def attached_for(self, dot: Dot) -> FrozenSet[Promise]:
+        return frozenset(self._attached.get(dot, set()))
+
+    def all_issued(self) -> FrozenSet[Promise]:
+        """All promises (attached or detached) issued so far."""
+        issued = set(self._detached)
+        for promises in self._attached.values():
+            issued.update(promises)
+        return frozenset(issued)
+
+    # -- broadcasting ---------------------------------------------------------
+
+    def snapshot(
+        self, drain: bool = True
+    ) -> Tuple[FrozenSet[Promise], Dict[Dot, FrozenSet[Promise]]]:
+        """Return promises to broadcast in the next ``MPromises`` message.
+
+        With ``drain=True`` (the default, matching the paper's
+        send-each-promise-once optimisation) the returned promises are
+        removed from the pending set; with ``drain=False`` the full issued
+        set is returned.
+        """
+        if drain:
+            detached = frozenset(self._pending_detached)
+            attached = {
+                dot: frozenset(promises)
+                for dot, promises in self._pending_attached.items()
+            }
+            self._pending_detached = set()
+            self._pending_attached = {}
+            return detached, attached
+        return self.detached(), self.attached()
+
+    def has_pending(self) -> bool:
+        """Whether there is anything new to broadcast."""
+        return bool(self._pending_detached or self._pending_attached)
+
+    def garbage_collect(self, up_to_timestamp: int, executed_dots: Iterable[Dot]) -> int:
+        """Drop promises that every peer is known to have received.
+
+        The paper (footnote 2) notes that promises can be garbage-collected
+        as soon as they are received by all processes of the partition; the
+        caller passes the timestamp below which this is known to hold (e.g.
+        the minimum stable timestamp acknowledged by all peers) together
+        with the identifiers whose commands have been executed everywhere.
+        Pending (not yet broadcast) promises are never dropped.  Returns the
+        number of promises discarded.
+        """
+        dropped = 0
+        keep_detached = set()
+        for promise in self._detached:
+            if promise.timestamp <= up_to_timestamp and promise not in self._pending_detached:
+                dropped += 1
+            else:
+                keep_detached.add(promise)
+        self._detached = keep_detached
+        for dot in list(executed_dots):
+            if dot in self._attached and dot not in self._pending_attached:
+                promises = self._attached[dot]
+                if all(promise.timestamp <= up_to_timestamp for promise in promises):
+                    dropped += len(promises)
+                    del self._attached[dot]
+        return dropped
+
+
+@dataclass
+class PromiseSet:
+    """The ``Promises`` variable: promises *known* at a process.
+
+    Supports the ``highest_contiguous_promise`` query of Algorithm 2 in
+    amortised O(1) per insertion by keeping, per process, the current
+    contiguous frontier plus a set of out-of-order timestamps.
+    """
+
+    _frontier: Dict[int, int] = field(default_factory=dict)
+    _pending: Dict[int, Set[int]] = field(default_factory=dict)
+    _size: int = 0
+
+    def add(self, promise: Promise) -> None:
+        """Insert a single promise."""
+        process = promise.process
+        frontier = self._frontier.get(process, 0)
+        if promise.timestamp <= frontier:
+            return
+        pending = self._pending.setdefault(process, set())
+        if promise.timestamp in pending:
+            return
+        pending.add(promise.timestamp)
+        self._size += 1
+        # Advance the contiguous frontier as far as possible.
+        while frontier + 1 in pending:
+            frontier += 1
+            pending.remove(frontier)
+        self._frontier[process] = frontier
+
+    def add_all(self, promises: Iterable[Promise]) -> None:
+        for promise in promises:
+            self.add(promise)
+
+    def __contains__(self, promise: Promise) -> bool:
+        frontier = self._frontier.get(promise.process, 0)
+        if promise.timestamp <= frontier:
+            return True
+        return promise.timestamp in self._pending.get(promise.process, set())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def highest_contiguous_promise(self, process: int) -> int:
+        """Largest ``c`` such that all promises ``<process, 1..c>`` are known."""
+        return self._frontier.get(process, 0)
+
+    def frontier(self, processes: Iterable[int]) -> List[int]:
+        """Highest contiguous promise for each of ``processes``."""
+        return [self.highest_contiguous_promise(process) for process in processes]
+
+    def stable_timestamp(self, processes: Iterable[int]) -> int:
+        """Highest stable timestamp per Theorem 1.
+
+        Sorts the per-process contiguous frontiers and returns the value at
+        index ``floor(r/2)`` — i.e. the largest ``s`` such that a majority of
+        processes have all their promises up to ``s`` known.
+        """
+        frontiers = sorted(self.frontier(processes))
+        if not frontiers:
+            return 0
+        majority_index = len(frontiers) // 2
+        return frontiers[majority_index]

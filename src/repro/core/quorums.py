@@ -1,0 +1,137 @@
+"""Quorum system used by Tempo and the baselines.
+
+Tempo uses three quorum kinds per partition (§3):
+
+* *fast quorums* of size ``floor(r/2) + f`` including the coordinator, used
+  to compute timestamp proposals;
+* *slow quorums* of size ``f + 1`` including the coordinator, used by the
+  Flexible-Paxos consensus on the slow path;
+* *recovery quorums* of size ``r - f`` used by Paxos phase-1 during
+  recovery.
+
+Fast quorums are chosen as the processes closest to the coordinator (by
+site latency when available, by rank distance otherwise), which is what the
+paper's implementation does to minimise the fast-path round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.config import ProtocolConfig
+
+
+class QuorumSystem:
+    """Computes fast/slow/recovery quorums for one deployment.
+
+    Args:
+        config: the deployment configuration.
+        latencies: optional mapping ``latencies[i][j]`` giving the one-way
+            latency between global processes ``i`` and ``j``; when provided,
+            fast quorums prefer the closest processes.
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        latencies: Optional[Mapping[int, Mapping[int, float]]] = None,
+    ) -> None:
+        self.config = config
+        self._latencies = latencies
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def fast_quorum_size(self) -> int:
+        return self.config.fast_quorum_size
+
+    @property
+    def slow_quorum_size(self) -> int:
+        return self.config.slow_quorum_size
+
+    @property
+    def recovery_quorum_size(self) -> int:
+        return self.config.recovery_quorum_size
+
+    # -- quorum selection ----------------------------------------------------
+
+    def _distance(self, origin: int, target: int) -> float:
+        if self._latencies is not None:
+            return float(self._latencies[origin][target])
+        # Fall back to rank distance within the partition (deterministic).
+        config = self.config
+        rank_a = config.rank_in_partition(origin)
+        rank_b = config.rank_in_partition(target)
+        span = abs(rank_a - rank_b)
+        return float(min(span, config.num_processes - span))
+
+    def _closest(self, coordinator: int, members: Sequence[int], count: int) -> List[int]:
+        if coordinator not in members:
+            raise ValueError("coordinator must replicate the partition")
+        if count > len(members):
+            raise ValueError(
+                f"cannot build a quorum of {count} out of {len(members)} processes"
+            )
+        others = sorted(
+            (member for member in members if member != coordinator),
+            key=lambda member: (self._distance(coordinator, member), member),
+        )
+        return [coordinator] + others[: count - 1]
+
+    def fast_quorum(self, coordinator: int, partition: int) -> List[int]:
+        """Fast quorum for ``partition`` led by ``coordinator``."""
+        members = self.config.processes_of_partition(partition)
+        return self._closest(coordinator, members, self.fast_quorum_size)
+
+    def slow_quorum(self, coordinator: int, partition: int) -> List[int]:
+        """Slow (Flexible-Paxos phase-2) quorum led by ``coordinator``."""
+        members = self.config.processes_of_partition(partition)
+        return self._closest(coordinator, members, self.slow_quorum_size)
+
+    def fast_quorums(
+        self, submitter: int, partitions: Sequence[int]
+    ) -> Dict[int, List[int]]:
+        """Fast quorum per accessed partition (the ``Q`` mapping of Alg. 1).
+
+        The coordinator of each partition is the replica of that partition
+        co-located with (closest to) the submitting process.
+        """
+        quorums: Dict[int, List[int]] = {}
+        for partition in partitions:
+            coordinator = self.coordinator_for(submitter, partition)
+            quorums[partition] = self.fast_quorum(coordinator, partition)
+        return quorums
+
+    def coordinator_for(self, submitter: int, partition: int) -> int:
+        """The replica of ``partition`` that acts as coordinator for a
+        command submitted by ``submitter`` (the closest one — typically the
+        co-located replica)."""
+        members = self.config.processes_of_partition(partition)
+        if submitter in members:
+            return submitter
+        rank = self.config.rank_in_partition(submitter)
+        colocated = partition * self.config.num_processes + rank
+        if colocated in members:
+            return colocated
+        return min(members, key=lambda member: (self._distance(submitter, member), member))
+
+    def coordinators_for(
+        self, submitter: int, partitions: Sequence[int]
+    ) -> Dict[int, int]:
+        """Coordinator per partition for a multi-partition command (the set
+        ``I^i_c`` of Algorithm 3)."""
+        return {
+            partition: self.coordinator_for(submitter, partition)
+            for partition in partitions
+        }
+
+    # -- validation helpers ----------------------------------------------------
+
+    def is_valid_fast_quorum(self, quorum: Sequence[int], partition: int) -> bool:
+        """Check that ``quorum`` is a plausible fast quorum for the partition."""
+        members = set(self.config.processes_of_partition(partition))
+        return (
+            len(set(quorum)) == len(quorum)
+            and len(quorum) == self.fast_quorum_size
+            and set(quorum) <= members
+        )

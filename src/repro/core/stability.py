@@ -1,0 +1,79 @@
+"""Stability detection helpers (Theorem 1 and Figure 2).
+
+These helpers are pure functions over :class:`repro.core.promises.PromiseSet`
+instances; the protocol process uses them, and so do the Figure 2 / Figure 3
+reproduction experiments and the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.promises import Promise, PromiseSet
+
+
+def highest_contiguous_promises(
+    promises: PromiseSet, processes: Sequence[int]
+) -> Dict[int, int]:
+    """Per-process highest contiguous promise (Algorithm 2, line 54)."""
+    return {
+        process: promises.highest_contiguous_promise(process)
+        for process in processes
+    }
+
+
+def stable_timestamp(promises: PromiseSet, processes: Sequence[int]) -> int:
+    """Highest stable timestamp per Theorem 1.
+
+    A timestamp ``s`` is stable once ``Promises`` contains all promises up to
+    ``s`` from a majority of the partition's processes; the highest such
+    ``s`` is the value at index ``floor(r/2)`` of the ascending-sorted
+    per-process frontiers.
+    """
+    return promises.stable_timestamp(processes)
+
+
+def is_stable(promises: PromiseSet, processes: Sequence[int], timestamp: int) -> bool:
+    """Whether ``timestamp`` is stable given the known promises."""
+    return stable_timestamp(promises, processes) >= timestamp
+
+
+def promise_table(
+    promise_sets: Iterable[Iterable[Promise]], processes: Sequence[int]
+) -> List[Tuple[str, int]]:
+    """Reproduce the right-hand side of Figure 2.
+
+    Given an iterable of promise sets (e.g. the X, Y, Z sets of Figure 2),
+    return, for every non-empty combination of them, the highest stable
+    timestamp when exactly that combination is known.  Combinations are
+    labelled by the indices of the included sets (e.g. ``"0+2"``).
+    """
+    sets = [frozenset(promise_set) for promise_set in promise_sets]
+    results: List[Tuple[str, int]] = []
+    for mask in range(1, 2 ** len(sets)):
+        included = [index for index in range(len(sets)) if mask & (1 << index)]
+        known = PromiseSet()
+        for index in included:
+            known.add_all(sets[index])
+        label = "+".join(str(index) for index in included)
+        results.append((label, stable_timestamp(known, processes)))
+    return results
+
+
+def execution_order(
+    committed: Dict, stable_up_to: int
+) -> List:
+    """Order committed commands for execution.
+
+    ``committed`` maps a command identifier to its committed timestamp.
+    Returns the identifiers whose timestamp is no higher than
+    ``stable_up_to``, ordered by ``(timestamp, identifier)`` — the execution
+    order of Algorithm 2, line 52.
+    """
+    ready = [
+        (timestamp, dot)
+        for dot, timestamp in committed.items()
+        if timestamp <= stable_up_to
+    ]
+    ready.sort()
+    return [dot for _, dot in ready]

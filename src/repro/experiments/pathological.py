@@ -1,0 +1,172 @@
+"""§D — pathological scenarios for Caesar and EPaxos.
+
+The appendix constructs an infinite schedule over 3 processes where all
+commands conflict and process P proposes commands P, P+3, P+6, ...:
+
+* under **Caesar**, every reply is blocked by the wait condition on a
+  not-yet-committed conflicting command with a higher timestamp, so no
+  command is ever committed;
+* under **EPaxos**, the committed dependencies form a strongly connected
+  component of unbounded size, so commands are committed but never executed.
+
+Under **Tempo**, the same schedule commits and executes every command.
+
+This module replays a finite prefix of the schedule against the real
+protocol implementations and reports, for each protocol, how many commands
+were committed and executed and how large the blocked structures grew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.commands import Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.process import TempoProcess
+from repro.kvstore.store import KeyValueStore
+from repro.protocols.caesar import CaesarProcess
+from repro.protocols.epaxos import EPaxosProcess
+from repro.simulator.inline import InlineNetwork
+
+
+@dataclass
+class PathologyReport:
+    """Outcome of replaying the §D schedule against one protocol.
+
+    ``*_during`` fields are measured while the adversarial schedule is still
+    running (new conflicting commands keep arriving); ``*_final`` fields are
+    measured after the schedule stops and the network quiesces.  The §D
+    claims show up as: EPaxos builds ever-growing components and executes
+    nothing *during* the schedule; Caesar commits nothing during the
+    schedule because every reply is blocked; Tempo keeps committing and
+    executing throughout.
+    """
+
+    protocol: str
+    submitted: int
+    committed_during: int
+    executed_during: int
+    committed_final: int
+    executed_final: int
+    blocked_replies: int = 0
+    largest_component: int = 0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "submitted": self.submitted,
+            "committed_during": self.committed_during,
+            "executed_during": self.executed_during,
+            "committed_final": self.committed_final,
+            "executed_final": self.executed_final,
+            "blocked_replies": self.blocked_replies,
+            "largest_component": self.largest_component,
+        }
+
+
+def _build(protocol: str):
+    config = ProtocolConfig(num_processes=3, faults=1)
+    partitioner = Partitioner(1)
+    processes = []
+    for process_id in range(3):
+        store = KeyValueStore()
+        if protocol == "tempo":
+            process = TempoProcess(
+                process_id, config, partitioner=partitioner, apply_fn=store.apply
+            )
+        elif protocol == "epaxos":
+            process = EPaxosProcess(
+                process_id, config, partitioner=partitioner, apply_fn=store.apply
+            )
+        elif protocol == "caesar":
+            process = CaesarProcess(
+                process_id, config, partitioner=partitioner, apply_fn=store.apply
+            )
+        else:
+            raise KeyError(protocol)
+        processes.append(process)
+    return processes
+
+
+def _count_committed(protocol: str, process, commands) -> int:
+    if protocol == "tempo":
+        return sum(
+            1 for command in commands
+            if process.committed_timestamp(command.dot) is not None
+        )
+    return sum(
+        1 for command in commands
+        if process.status_of(command.dot) in ("commit", "execute")
+    )
+
+
+def replay_schedule(protocol: str, rounds: int = 6) -> PathologyReport:
+    """Replay the round-robin conflicting schedule of §D.
+
+    In each round, every process submits one command on the same key.  The
+    adversary delays message delivery by one full round: while a round's
+    commands are in flight, the next round's commands have already been
+    submitted, which is what makes each new command conflict with (and be
+    ordered relative to) the previous ones before they can complete.
+    """
+    processes = _build(protocol)
+    network = InlineNetwork(processes)
+    commands = []
+    in_flight = []
+    for _ in range(rounds):
+        for process in processes:
+            command = process.new_command(["hot"])
+            process.submit(command, 0.0)
+            commands.append((process.process_id, command))
+        # Hold this round's messages; deliver the previous round's instead.
+        to_deliver, in_flight = in_flight, network.collect()
+        for envelope in to_deliver:
+            target = network.processes.get(envelope.destination)
+            if target is not None:
+                target.deliver(envelope.sender, envelope.message, 0.0)
+        # Newly produced replies join the in-flight set (delayed as well).
+        in_flight.extend(network.collect())
+
+    submitter = processes[0]
+    all_commands = [command for _, command in commands]
+    executed_during = len(set(submitter.executed_dots()) & {c.dot for c in all_commands})
+    committed_during = _count_committed(protocol, submitter, all_commands)
+    blocked = getattr(submitter, "blocked_replies_ever", 0)
+    largest_during = 0
+    if protocol == "epaxos":
+        largest_during = max(
+            submitter.executor.graph.largest_pending_component(),
+            submitter.max_component_size(),
+        )
+
+    # The schedule stops: deliver what is still in flight and quiesce, which
+    # shows which protocols recover once the adversary relents.
+    for envelope in in_flight:
+        target = network.processes.get(envelope.destination)
+        if target is not None:
+            target.deliver(envelope.sender, envelope.message, 0.0)
+    network.settle(rounds=15)
+    committed_final = _count_committed(protocol, submitter, all_commands)
+    executed_final = len(set(submitter.executed_dots()) & {c.dot for c in all_commands})
+    if protocol == "epaxos":
+        largest_during = max(largest_during, submitter.max_component_size())
+
+    return PathologyReport(
+        protocol=protocol,
+        submitted=len(all_commands),
+        committed_during=committed_during,
+        executed_during=executed_during,
+        committed_final=committed_final,
+        executed_final=executed_final,
+        blocked_replies=blocked,
+        largest_component=largest_during,
+    )
+
+
+def run(rounds: int = 6) -> List[Dict[str, object]]:
+    """Replay the §D schedule against Tempo, EPaxos and Caesar."""
+    return [
+        replay_schedule(protocol, rounds).as_row()
+        for protocol in ("tempo", "epaxos", "caesar")
+    ]

@@ -1,0 +1,6 @@
+"""In-memory key-value store replicated by the SMR protocols."""
+
+from repro.kvstore.store import KeyValueStore
+from repro.kvstore.sharding import ShardMap
+
+__all__ = ["KeyValueStore", "ShardMap"]

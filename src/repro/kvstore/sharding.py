@@ -1,0 +1,83 @@
+"""Shard and partition mapping for partial replication (§6.4).
+
+The paper defines a *shard* as a set of partitions co-located on the same
+machine; each YCSB key is its own partition and each shard holds 1M keys.
+This module provides the mapping from keys to partitions to shards that the
+partial-replication experiments and the Janus*/Tempo multi-partition
+deployments use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.commands import Partitioner
+
+
+class ShardMap:
+    """Maps keys onto shards and shards onto groups of processes.
+
+    In this reproduction a *partition* (in the protocol sense) corresponds to
+    one shard: the protocol state machine per shard orders all keys of that
+    shard.  This matches how the paper's implementation co-locates the
+    partitions of a shard in one protocol instance per machine.
+    """
+
+    def __init__(self, num_shards: int, keys_per_shard: int = 1_000_000) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if keys_per_shard < 1:
+            raise ValueError("keys_per_shard must be >= 1")
+        self.num_shards = num_shards
+        self.keys_per_shard = keys_per_shard
+
+    def shard_of_key(self, key: str) -> int:
+        """Shard holding ``key``.
+
+        YCSB-style keys (``user<number>``) are mapped round-robin by their
+        numeric suffix so that load spreads uniformly; other keys fall back
+        to a stable string hash.
+        """
+        digits = "".join(ch for ch in key if ch.isdigit())
+        if digits:
+            return int(digits) % self.num_shards
+        digest = 0
+        for ch in key:
+            digest = (digest * 131 + ord(ch)) % (2**31)
+        return digest % self.num_shards
+
+    def key_for(self, shard: int, index: int) -> str:
+        """The ``index``-th key of ``shard`` (inverse of :meth:`shard_of_key`)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError("shard out of range")
+        if not 0 <= index < self.keys_per_shard:
+            raise ValueError("index out of range")
+        return f"user{index * self.num_shards + shard}"
+
+    def total_keys(self) -> int:
+        return self.num_shards * self.keys_per_shard
+
+    def partitioner(self) -> Partitioner:
+        """A :class:`Partitioner` treating each shard as one partition."""
+        shard_map = self
+
+        class _ShardPartitioner(Partitioner):
+            def __init__(self) -> None:
+                super().__init__(num_partitions=shard_map.num_shards)
+
+            def partition_of(self, key: str) -> int:
+                return shard_map.shard_of_key(key)
+
+        return _ShardPartitioner()
+
+    def shards_of(self, keys: Sequence[str]) -> List[int]:
+        """Distinct shards accessed by ``keys``, sorted."""
+        return sorted({self.shard_of_key(key) for key in keys})
+
+    def distribution(self, keys: Sequence[str]) -> Dict[int, int]:
+        """How many of ``keys`` fall on each shard."""
+        histogram: Dict[int, int] = {}
+        for key in keys:
+            shard = self.shard_of_key(key)
+            histogram[shard] = histogram.get(shard, 0) + 1
+        return histogram

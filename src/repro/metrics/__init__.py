@@ -1,0 +1,12 @@
+"""Latency and throughput metrics."""
+
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.throughput import ThroughputTracker
+from repro.metrics.report import ExperimentReport, format_table
+
+__all__ = [
+    "ExperimentReport",
+    "LatencyHistogram",
+    "ThroughputTracker",
+    "format_table",
+]

@@ -1,0 +1,95 @@
+"""Latency histograms and percentile computation.
+
+The evaluation reports mean per-site latency (Figure 5) and tail percentiles
+from the 95th to the 99.99th (Figure 6); this module provides both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class LatencyHistogram:
+    """Collects latency samples (milliseconds) and answers summary queries."""
+
+    def __init__(self, samples: Optional[Iterable[float]] = None) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+        if samples is not None:
+            for sample in samples:
+                self.record(sample)
+
+    def record(self, latency_ms: float) -> None:
+        """Record one latency sample."""
+        if latency_ms < 0:
+            raise ValueError("latency samples must be non-negative")
+        self._samples.append(float(latency_ms))
+        self._sorted = False
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Merge another histogram into this one (in place) and return self."""
+        self._samples.extend(other._samples)
+        self._sorted = False
+        return self
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def is_empty(self) -> bool:
+        return not self._samples
+
+    def mean(self) -> float:
+        """Average latency (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def minimum(self) -> float:
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        return self._samples[0]
+
+    def maximum(self) -> float:
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def percentile(self, percentile: float) -> float:
+        """Latency at the given percentile (nearest-rank, e.g. 99.9)."""
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        rank = math.ceil(percentile / 100.0 * len(self._samples))
+        index = min(len(self._samples) - 1, max(0, rank - 1))
+        return self._samples[index]
+
+    def percentiles(self, which: Sequence[float] = (95.0, 99.0, 99.9, 99.99)) -> Dict[float, float]:
+        """A batch of percentiles, matching Figure 6's x-axis by default."""
+        return {percentile: self.percentile(percentile) for percentile in which}
+
+    def summary(self) -> Dict[str, float]:
+        """Mean / p50 / p95 / p99 / p99.9 / p99.99 / max in one dictionary."""
+        return {
+            "count": float(len(self._samples)),
+            "mean": self.mean(),
+            "p50": self.percentile(50.0) if self._samples else 0.0,
+            "p95": self.percentile(95.0) if self._samples else 0.0,
+            "p99": self.percentile(99.0) if self._samples else 0.0,
+            "p99.9": self.percentile(99.9) if self._samples else 0.0,
+            "p99.99": self.percentile(99.99) if self._samples else 0.0,
+            "max": self.maximum(),
+        }
+
+    def samples(self) -> List[float]:
+        """Copy of the recorded samples."""
+        return list(self._samples)

@@ -1,0 +1,55 @@
+"""Throughput accounting for closed-loop experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ThroughputTracker:
+    """Counts completed commands over simulated time.
+
+    Operations completed before ``warmup_ms`` are excluded, mirroring the
+    warm-up discard used by benchmarking harnesses.
+    """
+
+    warmup_ms: float = 0.0
+    completed: int = 0
+    ignored: int = 0
+    first_completion: float = 0.0
+    last_completion: float = 0.0
+    per_site: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, now: float, site: str = "") -> None:
+        """Record one completed command at simulated time ``now`` (ms)."""
+        if now < self.warmup_ms:
+            self.ignored += 1
+            return
+        if self.completed == 0:
+            self.first_completion = now
+        self.completed += 1
+        self.last_completion = now
+        if site:
+            self.per_site[site] = self.per_site.get(site, 0) + 1
+
+    def duration_ms(self) -> float:
+        """Measurement window length in milliseconds."""
+        if self.completed < 2:
+            return 0.0
+        return self.last_completion - self.first_completion
+
+    def ops_per_second(self) -> float:
+        """Completed commands per second of simulated time."""
+        duration = self.duration_ms()
+        if duration <= 0:
+            return 0.0
+        return self.completed / (duration / 1000.0)
+
+    def ops_per_second_per_site(self) -> Dict[str, float]:
+        duration = self.duration_ms()
+        if duration <= 0:
+            return {site: 0.0 for site in self.per_site}
+        return {
+            site: count / (duration / 1000.0) for site, count in self.per_site.items()
+        }

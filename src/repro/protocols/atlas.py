@@ -1,0 +1,56 @@
+"""Atlas (EuroSys'20) — dependency-based leaderless SMR with small quorums.
+
+Atlas differs from EPaxos in two ways that matter for the evaluation (§6):
+
+* fast quorums have size ``floor(r/2) + f`` (the same as Tempo), so with
+  ``f = 1`` they are plain majorities;
+* the fast path commits the *union* of the reported dependencies and is
+  taken whenever every dependency in the union can be recovered after ``f``
+  failures, i.e. when each one was reported by at least ``f`` fast-quorum
+  members.  With ``f = 1`` this always holds, so Atlas ``f = 1`` never takes
+  the slow path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.identifiers import Dot
+from repro.protocols.dependency import DependencyProtocolProcess
+
+
+class AtlasProcess(DependencyProtocolProcess):
+    """An Atlas replica."""
+
+    name = "atlas"
+
+    def fast_quorum_size(self) -> int:
+        """Atlas fast quorums contain ``floor(r/2) + f`` processes."""
+        return self.config.fast_quorum_size
+
+    def slow_quorum_size(self) -> int:
+        """The slow path uses Flexible-Paxos quorums of ``f + 1``."""
+        return self.config.slow_quorum_size
+
+    def allows_fast_path(
+        self,
+        union_deps: FrozenSet[Dot],
+        acks: Dict[int, Tuple[FrozenSet[Dot], int]],
+        coordinator: int,
+    ) -> bool:
+        """Each dependency in the union must be reported by at least ``f``
+        fast-quorum members, which makes it recoverable after ``f`` crashes.
+
+        The coordinator's own report counts: its dependencies are known to
+        the recovery procedure through the command identifier's initial
+        coordinator rules (as in the Atlas paper).
+        """
+        if self.config.faults == 1:
+            return True
+        for dependency in union_deps:
+            reported_by = sum(
+                1 for deps, _ in acks.values() if dependency in deps
+            )
+            if reported_by < self.config.faults:
+                return False
+        return True

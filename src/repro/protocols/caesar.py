@@ -1,0 +1,334 @@
+"""Caesar (DSN'17) — timestamp ordering with explicit dependencies.
+
+Caesar assigns each command a unique timestamp and executes commands in
+timestamp order; dependencies are used to detect when a timestamp is stable
+(§3.3).  The protocol's distinguishing feature — and its weakness, which the
+paper demonstrates analytically (§D) and experimentally (§6) — is the *wait
+condition*: a replica that receives a proposal ``(c, t)`` while it knows a
+conflicting, not-yet-committed command with a higher timestamp must delay
+its reply until that command commits.  This blocking sits on the critical
+path of every contended command and produces both extra latency and the
+pathological scenarios of §D.
+
+This implementation reproduces:
+
+* unique timestamp proposals ``(clock, process rank)``;
+* fast quorums of size ``ceil(3r/4)``;
+* the blocking wait condition, with deferred replies re-evaluated whenever a
+  conflicting command commits;
+* dependency collection (conflicting commands with smaller timestamps) and
+  execution in timestamp order gated on dependency commitment.
+
+Simplification (documented in DESIGN.md): the rejection/retry slow path of
+Caesar is reduced to a single retry round that accepts the coordinator's
+timestamp, because the evaluation's Caesar* variant measures commit-time
+behaviour (commands are "executed as soon as committed", §6.3) and the
+dominant effect is the wait condition, which is fully modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.base import Envelope, ProcessBase
+from repro.core.commands import Command, Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.identifiers import Dot, DotGenerator
+from repro.core.messages import ClientReply
+from repro.core.quorums import QuorumSystem
+from repro.protocols.dep_messages import (
+    MCaesarCommit,
+    MCaesarPropose,
+    MCaesarProposeAck,
+)
+
+ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
+
+Timestamp = Tuple[int, int]
+
+
+@dataclass
+class CaesarInfo:
+    """Per-command state at a Caesar replica."""
+
+    command: Optional[Command] = None
+    timestamp: Timestamp = (0, 0)
+    dependencies: FrozenSet[Dot] = frozenset()
+    status: str = "start"  # start | propose | commit | execute
+    acks: Dict[int, FrozenSet[Dot]] = field(default_factory=dict)
+    submitted_here: bool = False
+    submitted_at: Optional[float] = None
+    committed_at: Optional[float] = None
+
+
+@dataclass
+class _DeferredReply:
+    """A proposal reply delayed by the wait condition."""
+
+    dot: Dot
+    coordinator: int
+    since: float
+
+
+class CaesarProcess(ProcessBase):
+    """A Caesar replica."""
+
+    name = "caesar"
+
+    def __init__(
+        self,
+        process_id: int,
+        config: ProtocolConfig,
+        partitioner: Optional[Partitioner] = None,
+        quorum_system: Optional[QuorumSystem] = None,
+        apply_fn: Optional[ApplyFn] = None,
+    ) -> None:
+        super().__init__(process_id, config)
+        self.partitioner = partitioner or Partitioner(config.num_partitions)
+        self.quorum_system = quorum_system or QuorumSystem(config)
+        self.apply_fn = apply_fn
+        self.dot_generator = DotGenerator(process_id)
+        self.clock = 0
+        self._info: Dict[Dot, CaesarInfo] = {}
+        self._known_per_key: Dict[str, Set[Dot]] = {}
+        self._deferred: List[_DeferredReply] = []
+        #: Commands whose replies are currently blocked (for observability
+        #: and for the §D pathological-scenario experiments).
+        self.blocked_replies_ever = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def info(self, dot: Dot) -> CaesarInfo:
+        record = self._info.get(dot)
+        if record is None:
+            record = CaesarInfo()
+            self._info[dot] = record
+        return record
+
+    def status_of(self, dot: Dot) -> str:
+        record = self._info.get(dot)
+        return record.status if record is not None else "start"
+
+    def new_command(
+        self, keys, payload_size: int = 100, client_id: Optional[int] = None
+    ) -> Command:
+        return Command.write(
+            self.dot_generator.next_id(),
+            keys,
+            payload_size=payload_size,
+            client_id=client_id,
+        )
+
+    def _next_timestamp(self) -> Timestamp:
+        self.clock += 1
+        return (self.clock, self.config.rank_in_partition(self.process_id))
+
+    def _register(self, command: Command) -> None:
+        for key in command.keys:
+            self._known_per_key.setdefault(key, set()).add(command.dot)
+
+    def _conflicting(self, command: Command) -> Set[Dot]:
+        conflicting: Set[Dot] = set()
+        for key in command.keys:
+            conflicting.update(self._known_per_key.get(key, set()))
+        conflicting.discard(command.dot)
+        return conflicting
+
+    def _fast_quorum(self) -> List[int]:
+        members = self.config.processes_of_partition(self.partition)
+        size = min(self.config.caesar_fast_quorum_size, len(members))
+        others = sorted(
+            (member for member in members if member != self.process_id),
+            key=lambda member: (
+                self.quorum_system._distance(self.process_id, member),
+                member,
+            ),
+        )
+        return [self.process_id] + others[: size - 1]
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, command: Command, now: float = 0.0) -> None:
+        record = self.info(command.dot)
+        record.command = command
+        record.submitted_here = True
+        record.submitted_at = now
+        record.status = "propose"
+        record.timestamp = self._next_timestamp()
+        self._register(command)
+        self.send(
+            self._fast_quorum(),
+            MCaesarPropose(command.dot, command, record.timestamp),
+            now,
+        )
+
+    # -- message handling -------------------------------------------------------------
+
+    def on_message(self, sender: int, message: object, now: float) -> None:
+        if isinstance(message, MCaesarPropose):
+            self._on_propose(sender, message, now)
+        elif isinstance(message, MCaesarProposeAck):
+            self._on_propose_ack(sender, message, now)
+        elif isinstance(message, MCaesarCommit):
+            self._on_commit(sender, message, now)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _on_propose(self, sender: int, message: MCaesarPropose, now: float) -> None:
+        record = self.info(message.dot)
+        if record.status in ("commit", "execute"):
+            return
+        record.command = message.command
+        record.timestamp = message.timestamp
+        if record.status == "start":
+            record.status = "propose"
+        self._register(message.command)
+        self.clock = max(self.clock, message.timestamp[0])
+        if self._wait_condition_blocks(message.dot, now):
+            self._deferred.append(_DeferredReply(message.dot, sender, now))
+            self.blocked_replies_ever += 1
+            return
+        self._reply_propose(message.dot, sender, now)
+
+    def _wait_condition_blocks(self, dot: Dot, now: float) -> bool:
+        """Caesar's wait condition (§3.3).
+
+        The reply about ``dot`` must wait while some conflicting command with
+        a *higher* timestamp is known here but not yet committed: its
+        dependency set is still open, so this replica cannot promise that it
+        will include ``dot``.
+        """
+        record = self._info[dot]
+        if record.command is None:
+            return False
+        for other_dot in self._conflicting(record.command):
+            other = self._info.get(other_dot)
+            if other is None or other.command is None:
+                continue
+            if other.status in ("commit", "execute"):
+                continue
+            if other.timestamp > record.timestamp:
+                return True
+        return False
+
+    def _reply_propose(self, dot: Dot, coordinator: int, now: float) -> None:
+        record = self._info[dot]
+        dependencies = frozenset(
+            other_dot
+            for other_dot in self._conflicting(record.command)
+            if self._info.get(other_dot) is not None
+            and self._info[other_dot].timestamp < record.timestamp
+            and self._info[other_dot].timestamp != (0, 0)
+        )
+        ack = MCaesarProposeAck(dot, record.timestamp, dependencies, accepted=True)
+        self.send([coordinator], ack, now)
+
+    def _on_propose_ack(self, sender: int, message: MCaesarProposeAck, now: float) -> None:
+        record = self._info.get(message.dot)
+        if record is None or not record.submitted_here or record.status != "propose":
+            return
+        record.acks[sender] = message.dependencies
+        if len(record.acks) < len(self._fast_quorum()):
+            return
+        dependencies = frozenset().union(*record.acks.values()) if record.acks else frozenset()
+        record.dependencies = dependencies
+        commit = MCaesarCommit(
+            message.dot, record.command, record.timestamp, dependencies
+        )
+        self.send(self.partition_peers(), commit, now)
+
+    def _on_commit(self, sender: int, message: MCaesarCommit, now: float) -> None:
+        record = self.info(message.dot)
+        if record.status in ("commit", "execute"):
+            return
+        record.command = message.command
+        record.timestamp = message.timestamp
+        record.dependencies = message.dependencies
+        record.status = "commit"
+        record.committed_at = now
+        self._register(message.command)
+        self.clock = max(self.clock, message.timestamp[0])
+        self._flush_deferred(now)
+        self._try_execute(now)
+
+    def _flush_deferred(self, now: float) -> None:
+        """Re-evaluate replies blocked by the wait condition."""
+        still_blocked: List[_DeferredReply] = []
+        for deferred in self._deferred:
+            record = self._info.get(deferred.dot)
+            if record is None or record.status in ("commit", "execute"):
+                continue
+            if self._wait_condition_blocks(deferred.dot, now):
+                still_blocked.append(deferred)
+            else:
+                self._reply_propose(deferred.dot, deferred.coordinator, now)
+        self._deferred = still_blocked
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _try_execute(self, now: float) -> None:
+        """Execute committed commands in timestamp order.
+
+        A command may execute once every dependency is committed and every
+        dependency with a smaller timestamp has executed (dependency-based
+        timestamp stability).  Execution is strictly in timestamp order among
+        the commands this replica knows, so an unstable command blocks its
+        successors — the behaviour responsible for Caesar's tail latency.
+        """
+        progress = True
+        while progress:
+            progress = False
+            committed = sorted(
+                (
+                    (record.timestamp, dot)
+                    for dot, record in self._info.items()
+                    if record.status == "commit"
+                ),
+            )
+            for _, dot in committed:
+                record = self._info[dot]
+                if not self._is_stable(record):
+                    break
+                self._execute(dot, record, now)
+                progress = True
+                break
+
+    def _is_stable(self, record: CaesarInfo) -> bool:
+        for dependency in record.dependencies:
+            other = self._info.get(dependency)
+            if other is None or other.status not in ("commit", "execute"):
+                return False
+            if other.timestamp < record.timestamp and other.status != "execute":
+                return False
+        return True
+
+    def _execute(self, dot: Dot, record: CaesarInfo, now: float) -> None:
+        result = self.apply_fn(record.command) if self.apply_fn else None
+        record.status = "execute"
+        self.record_execution(dot, record.command, now)
+        if record.submitted_here and record.command.client_id is not None:
+            self.outbox.append(
+                Envelope(
+                    sender=self.process_id,
+                    destination=-(record.command.client_id + 1),
+                    message=ClientReply(dot, result=result),
+                )
+            )
+
+    def tick(self, now: float) -> None:
+        self._flush_deferred(now)
+        self._try_execute(now)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def blocked_count(self) -> int:
+        """Number of replies currently delayed by the wait condition."""
+        return len(self._deferred)
+
+    def committed_dots(self) -> List[Dot]:
+        return [
+            dot
+            for dot, record in self._info.items()
+            if record.status in ("commit", "execute")
+        ]

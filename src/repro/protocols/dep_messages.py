@@ -1,0 +1,214 @@
+"""Messages used by the dependency-based protocols (EPaxos, Atlas, Janus*)
+and by Caesar.
+
+They mirror the structure of the Tempo messages in
+:mod:`repro.core.messages` and implement the same ``size_bytes`` interface
+for the resource model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Tuple
+
+from repro.core.commands import Command
+from repro.core.identifiers import Dot
+from repro.core.messages import Message
+
+_HEADER_BYTES = 24
+_DEP_BYTES = 12
+
+
+def _deps_size(dependencies: FrozenSet[Dot]) -> int:
+    return _DEP_BYTES * len(dependencies)
+
+
+@dataclass(frozen=True)
+class MPreAccept(Message):
+    """Coordinator -> fast quorum: command plus initial dependencies."""
+
+    command: Command
+    dependencies: FrozenSet[Dot]
+    sequence: int = 0
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + _deps_size(self.dependencies)
+
+
+@dataclass(frozen=True)
+class MPreAcceptAck(Message):
+    """Fast-quorum member -> coordinator: possibly extended dependencies."""
+
+    dependencies: FrozenSet[Dot]
+    sequence: int = 0
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + _deps_size(self.dependencies)
+
+
+@dataclass(frozen=True)
+class MDepAccept(Message):
+    """Slow-path phase-2 message carrying the union of dependencies."""
+
+    command: Command
+    dependencies: FrozenSet[Dot]
+    sequence: int
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return (
+            _HEADER_BYTES
+            + self.command.payload_size
+            + _deps_size(self.dependencies)
+            + 16
+        )
+
+
+@dataclass(frozen=True)
+class MDepAcceptAck(Message):
+    """Acceptance of a slow-path proposal."""
+
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class MDepCommit(Message):
+    """Commit notification with the final dependencies."""
+
+    command: Command
+    dependencies: FrozenSet[Dot]
+    sequence: int = 0
+    shard: int = 0
+
+    def size_bytes(self) -> int:
+        return (
+            _HEADER_BYTES
+            + self.command.payload_size
+            + _deps_size(self.dependencies)
+            + 8
+        )
+
+
+# -- Caesar ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MCaesarPropose(Message):
+    """Coordinator -> fast quorum: command plus a unique timestamp proposal."""
+
+    command: Command
+    timestamp: Tuple[int, int]
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + 16
+
+
+@dataclass(frozen=True)
+class MCaesarProposeAck(Message):
+    """Reply to a Caesar proposal, sent only after the wait condition clears."""
+
+    timestamp: Tuple[int, int]
+    dependencies: FrozenSet[Dot]
+    accepted: bool = True
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 17 + _deps_size(self.dependencies)
+
+
+@dataclass(frozen=True)
+class MCaesarRetry(Message):
+    """Coordinator -> replicas: retry with a higher timestamp (slow path)."""
+
+    command: Command
+    timestamp: Tuple[int, int]
+    dependencies: FrozenSet[Dot]
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + 16 + _deps_size(self.dependencies)
+
+
+@dataclass(frozen=True)
+class MCaesarRetryAck(Message):
+    """Acknowledgement of a retry."""
+
+    timestamp: Tuple[int, int]
+    dependencies: FrozenSet[Dot]
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16 + _deps_size(self.dependencies)
+
+
+@dataclass(frozen=True)
+class MCaesarCommit(Message):
+    """Commit with final timestamp and dependencies."""
+
+    command: Command
+    timestamp: Tuple[int, int]
+    dependencies: FrozenSet[Dot]
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + 16 + _deps_size(self.dependencies)
+
+
+# -- FPaxos -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MForward(Message):
+    """Non-leader -> leader: forward a client command."""
+
+    command: Command
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size
+
+
+@dataclass(frozen=True)
+class MAccept(Message):
+    """Leader -> phase-2 quorum: ordered command at a log slot."""
+
+    command: Command
+    slot: int
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + 16
+
+
+@dataclass(frozen=True)
+class MAccepted(Message):
+    """Acceptor -> leader: slot accepted."""
+
+    slot: int
+    ballot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 16
+
+
+@dataclass(frozen=True)
+class MDecided(Message):
+    """Leader -> everyone: slot decided."""
+
+    command: Command
+    slot: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.command.payload_size + 8
+
+
+# -- Janus* -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MJanusDeps(Message):
+    """Per-shard coordinator -> submitting coordinator: this shard's deps."""
+
+    shard: int
+    dependencies: FrozenSet[Dot]
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8 + _deps_size(self.dependencies)

@@ -1,0 +1,372 @@
+"""Shared machinery for dependency-based leaderless protocols.
+
+EPaxos, Atlas and Janus* all follow the same two-phase pattern:
+
+1. the coordinator sends the command with its locally computed conflicts
+   (*dependencies*) to a fast quorum;
+2. every fast-quorum member extends the dependencies with the conflicting
+   commands it knows about and replies;
+3. the coordinator either commits on the fast path (when the replies allow
+   the dependencies to be recovered after ``f`` failures) or runs a phase-2
+   round on the union of dependencies (slow path);
+4. commands are executed by traversing the committed dependency graph,
+   strongly connected component by strongly connected component
+   (:mod:`repro.protocols.depgraph`).
+
+Subclasses customise the fast-quorum size, the fast-path condition and the
+slow-quorum size, which is exactly where EPaxos and Atlas differ (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.base import Envelope, ProcessBase
+from repro.core.commands import Command, Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.identifiers import Dot, DotGenerator
+from repro.core.messages import ClientReply
+from repro.core.quorums import QuorumSystem
+from repro.protocols.dep_messages import (
+    MDepAccept,
+    MDepAcceptAck,
+    MDepCommit,
+    MPreAccept,
+    MPreAcceptAck,
+)
+from repro.protocols.depgraph import DependencyGraphExecutor
+
+ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
+
+
+@dataclass
+class DepInfo:
+    """Per-command state at a dependency-protocol process."""
+
+    command: Optional[Command] = None
+    dependencies: FrozenSet[Dot] = frozenset()
+    sequence: int = 0
+    status: str = "start"  # start | preaccept | accept | commit | execute
+    ballot: int = 0
+    preaccept_acks: Dict[int, Tuple[FrozenSet[Dot], int]] = field(default_factory=dict)
+    accept_acks: Set[int] = field(default_factory=set)
+    submitted_here: bool = False
+    submitted_at: Optional[float] = None
+    committed_at: Optional[float] = None
+
+
+class DependencyProtocolProcess(ProcessBase):
+    """Base class for EPaxos-style protocols.
+
+    Subclasses must implement :meth:`fast_quorum_size`,
+    :meth:`slow_quorum_size` and :meth:`allows_fast_path`.
+    """
+
+    #: Human-readable protocol name, overridden by subclasses.
+    name = "dependency"
+
+    def __init__(
+        self,
+        process_id: int,
+        config: ProtocolConfig,
+        partitioner: Optional[Partitioner] = None,
+        quorum_system: Optional[QuorumSystem] = None,
+        apply_fn: Optional[ApplyFn] = None,
+        read_write_aware: bool = True,
+    ) -> None:
+        super().__init__(process_id, config)
+        self.partitioner = partitioner or Partitioner(config.num_partitions)
+        self.quorum_system = quorum_system or QuorumSystem(config)
+        self.apply_fn = apply_fn
+        #: Whether reads only depend on writes (the read/write distinction of
+        #: §3.3 that dependency-based protocols can exploit).
+        self.read_write_aware = read_write_aware
+        self.dot_generator = DotGenerator(process_id)
+        self._info: Dict[Dot, DepInfo] = {}
+        #: Per-key set of known commands, used to compute conflicts.
+        self._conflicts: Dict[str, Set[Dot]] = {}
+        self._max_sequence_per_key: Dict[str, int] = {}
+        self.executor = DependencyGraphExecutor()
+
+    # -- protocol parameters (overridden by subclasses) ---------------------------
+
+    def fast_quorum_size(self) -> int:
+        raise NotImplementedError
+
+    def slow_quorum_size(self) -> int:
+        raise NotImplementedError
+
+    def allows_fast_path(
+        self,
+        union_deps: FrozenSet[Dot],
+        acks: Dict[int, Tuple[FrozenSet[Dot], int]],
+        coordinator: int,
+    ) -> bool:
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------------
+
+    def info(self, dot: Dot) -> DepInfo:
+        record = self._info.get(dot)
+        if record is None:
+            record = DepInfo()
+            self._info[dot] = record
+        return record
+
+    def status_of(self, dot: Dot) -> str:
+        record = self._info.get(dot)
+        return record.status if record is not None else "start"
+
+    def committed_dependencies(self, dot: Dot) -> FrozenSet[Dot]:
+        """Dependencies the command committed with (empty if not committed)."""
+        record = self._info.get(dot)
+        if record is None or record.status not in ("commit", "execute"):
+            return frozenset()
+        return record.dependencies
+
+    def new_command(
+        self,
+        keys,
+        payload_size: int = 100,
+        client_id: Optional[int] = None,
+        read_only: bool = False,
+    ) -> Command:
+        """Mint a new command at this process."""
+        dot = self.dot_generator.next_id()
+        if read_only:
+            return Command.read(dot, keys, payload_size=payload_size, client_id=client_id)
+        return Command.write(dot, keys, payload_size=payload_size, client_id=client_id)
+
+    def _conflicts_of(self, command: Command) -> Tuple[FrozenSet[Dot], int]:
+        """Locally known conflicting commands and the next sequence number."""
+        deps: Set[Dot] = set()
+        max_seq = 0
+        for key in command.keys:
+            for other_dot in self._conflicts.get(key, set()):
+                if other_dot == command.dot:
+                    continue
+                other = self._info.get(other_dot)
+                if other is None or other.command is None:
+                    deps.add(other_dot)
+                    continue
+                if self.read_write_aware and command.is_read_only() and other.command.is_read_only():
+                    # Reads do not depend on reads (§3.3).
+                    continue
+                deps.add(other_dot)
+            max_seq = max(max_seq, self._max_sequence_per_key.get(key, 0))
+        return frozenset(deps), max_seq + 1
+
+    def _register(self, command: Command, sequence: int) -> None:
+        """Make the command visible to future conflict computations."""
+        for key in command.keys:
+            self._conflicts.setdefault(key, set()).add(command.dot)
+            self._max_sequence_per_key[key] = max(
+                self._max_sequence_per_key.get(key, 0), sequence
+            )
+
+    def _fast_quorum(self) -> List[int]:
+        members = self.config.processes_of_partition(self.partition)
+        size = self.fast_quorum_size()
+        others = sorted(
+            (member for member in members if member != self.process_id),
+            key=lambda member: (
+                self.quorum_system._distance(self.process_id, member),
+                member,
+            ),
+        )
+        return [self.process_id] + others[: size - 1]
+
+    def _slow_quorum(self) -> List[int]:
+        members = self.config.processes_of_partition(self.partition)
+        size = self.slow_quorum_size()
+        others = sorted(
+            (member for member in members if member != self.process_id),
+            key=lambda member: (
+                self.quorum_system._distance(self.process_id, member),
+                member,
+            ),
+        )
+        return [self.process_id] + others[: size - 1]
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, command: Command, now: float = 0.0) -> None:
+        """Submit a command with this process acting as its coordinator."""
+        record = self.info(command.dot)
+        record.command = command
+        record.submitted_here = True
+        record.submitted_at = now
+        dependencies, sequence = self._conflicts_of(command)
+        self._register(command, sequence)
+        record.dependencies = dependencies
+        record.sequence = sequence
+        record.status = "preaccept"
+        message = MPreAccept(command.dot, command, dependencies, sequence)
+        self.send(self._fast_quorum(), message, now)
+
+    # -- message handling -------------------------------------------------------------
+
+    def on_message(self, sender: int, message: object, now: float) -> None:
+        if isinstance(message, MPreAccept):
+            self._on_preaccept(sender, message, now)
+        elif isinstance(message, MPreAcceptAck):
+            self._on_preaccept_ack(sender, message, now)
+        elif isinstance(message, MDepAccept):
+            self._on_accept(sender, message, now)
+        elif isinstance(message, MDepAcceptAck):
+            self._on_accept_ack(sender, message, now)
+        elif isinstance(message, MDepCommit):
+            self._on_commit(sender, message, now)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _on_preaccept(self, sender: int, message: MPreAccept, now: float) -> None:
+        record = self.info(message.dot)
+        if record.status in ("commit", "execute"):
+            return
+        if record.submitted_here:
+            # The coordinator already computed its dependencies in submit();
+            # recomputing here would count the command against itself.
+            self.send(
+                [sender],
+                MPreAcceptAck(message.dot, record.dependencies, record.sequence),
+                now,
+            )
+            return
+        local_deps, local_seq = self._conflicts_of(message.command)
+        dependencies = frozenset(message.dependencies | local_deps)
+        sequence = max(message.sequence, local_seq)
+        record.command = message.command
+        record.dependencies = dependencies
+        record.sequence = sequence
+        if record.status == "start":
+            record.status = "preaccept"
+        self._register(message.command, sequence)
+        self.send([sender], MPreAcceptAck(message.dot, dependencies, sequence), now)
+
+    def _on_preaccept_ack(self, sender: int, message: MPreAcceptAck, now: float) -> None:
+        record = self._info.get(message.dot)
+        if record is None or record.status != "preaccept" or not record.submitted_here:
+            return
+        record.preaccept_acks[sender] = (message.dependencies, message.sequence)
+        if len(record.preaccept_acks) < self.fast_quorum_size():
+            return
+        union_deps = frozenset().union(
+            *(deps for deps, _ in record.preaccept_acks.values())
+        )
+        sequence = max(seq for _, seq in record.preaccept_acks.values())
+        record.dependencies = union_deps
+        record.sequence = sequence
+        if self.allows_fast_path(union_deps, record.preaccept_acks, self.process_id):
+            self._broadcast_commit(record, now)
+        else:
+            record.status = "accept"
+            record.ballot = self.config.rank_in_partition(self.process_id) + 1
+            accept = MDepAccept(
+                record.command.dot,
+                record.command,
+                union_deps,
+                sequence,
+                record.ballot,
+            )
+            self.send(self._slow_quorum(), accept, now)
+
+    def _on_accept(self, sender: int, message: MDepAccept, now: float) -> None:
+        record = self.info(message.dot)
+        if record.status in ("commit", "execute"):
+            return
+        record.command = message.command
+        record.dependencies = message.dependencies
+        record.sequence = message.sequence
+        record.status = "accept"
+        self._register(message.command, message.sequence)
+        self.send([sender], MDepAcceptAck(message.dot, message.ballot), now)
+
+    def _on_accept_ack(self, sender: int, message: MDepAcceptAck, now: float) -> None:
+        record = self._info.get(message.dot)
+        if record is None or record.status != "accept" or not record.submitted_here:
+            return
+        record.accept_acks.add(sender)
+        if len(record.accept_acks) < self.slow_quorum_size():
+            return
+        self._broadcast_commit(record, now)
+
+    def _commit_targets(self, record: DepInfo) -> List[int]:
+        """Processes that must learn about the commit."""
+        return list(self.partition_peers())
+
+    def _broadcast_commit(self, record: DepInfo, now: float) -> None:
+        if record.command is None:
+            return
+        commit = MDepCommit(
+            record.command.dot,
+            record.command,
+            record.dependencies,
+            record.sequence,
+            shard=self.partition,
+        )
+        self.send(sorted(set(self._commit_targets(record))), commit, now)
+
+    def _on_commit(self, sender: int, message: MDepCommit, now: float) -> None:
+        record = self.info(message.dot)
+        if record.status in ("commit", "execute"):
+            return
+        record.command = message.command
+        record.dependencies = message.dependencies
+        record.sequence = message.sequence
+        record.status = "commit"
+        record.committed_at = now
+        self._register(message.command, message.sequence)
+        newly = self.executor.commit(
+            message.dot, message.dependencies, message.sequence
+        )
+        self._execute_all(newly, now)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _execute_all(self, dots: List[Dot], now: float) -> None:
+        for dot in dots:
+            record = self._info.get(dot)
+            if record is None or record.command is None:
+                continue
+            if record.status == "execute":
+                continue
+            result = self.apply_fn(record.command) if self.apply_fn else None
+            record.status = "execute"
+            self.record_execution(dot, record.command, now)
+            if record.submitted_here and record.command.client_id is not None:
+                self.outbox.append(
+                    Envelope(
+                        sender=self.process_id,
+                        destination=-(record.command.client_id + 1),
+                        message=ClientReply(dot, result=result),
+                    )
+                )
+
+    def tick(self, now: float) -> None:
+        """Periodically retry execution (a commit elsewhere may have
+        unblocked a component whose last commit message raced the check)."""
+        newly = self.executor.advance()
+        if newly:
+            self._execute_all(newly, now)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def committed_dots(self) -> List[Dot]:
+        return [
+            dot
+            for dot, record in self._info.items()
+            if record.status in ("commit", "execute")
+        ]
+
+    def pending_dots(self) -> List[Dot]:
+        return [
+            dot
+            for dot, record in self._info.items()
+            if record.status in ("preaccept", "accept")
+        ]
+
+    def max_component_size(self) -> int:
+        """Largest strongly connected component executed so far."""
+        return self.executor.max_component_size()

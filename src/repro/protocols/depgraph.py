@@ -1,0 +1,253 @@
+"""Dependency-graph execution used by EPaxos, Atlas and Janus* (§3.3).
+
+Dependency-based leaderless protocols commit each command together with a
+set of explicit dependencies.  Execution then proceeds over the directed
+graph whose edges point from a command to its dependencies:
+
+1. a command can only be considered once it is committed;
+2. strongly connected components (SCCs) of the committed subgraph are
+   executed one at a time, in reverse topological order;
+3. an SCC can only be executed when every dependency reachable from it is
+   committed — an uncommitted (or unknown) dependency blocks the whole
+   component, which is the source of the unbounded execution delays the
+   paper demonstrates (§3.3, §D).
+
+Commands inside an SCC are ordered by their sequence number (EPaxos-style)
+and identifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.identifiers import Dot
+
+
+@dataclass
+class CommittedNode:
+    """A committed command inside the dependency graph."""
+
+    dot: Dot
+    dependencies: FrozenSet[Dot]
+    sequence: int = 0
+
+
+class DependencyGraph:
+    """The committed dependency graph at one process."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[Dot, CommittedNode] = {}
+        self._executed: Set[Dot] = set()
+
+    def commit(self, dot: Dot, dependencies: Iterable[Dot], sequence: int = 0) -> None:
+        """Record that ``dot`` committed with the given dependencies."""
+        if dot in self._nodes:
+            return
+        self._nodes[dot] = CommittedNode(
+            dot=dot, dependencies=frozenset(dependencies), sequence=sequence
+        )
+
+    def is_committed(self, dot: Dot) -> bool:
+        return dot in self._nodes
+
+    def is_executed(self, dot: Dot) -> bool:
+        return dot in self._executed
+
+    def committed_count(self) -> int:
+        return len(self._nodes)
+
+    def executed_count(self) -> int:
+        return len(self._executed)
+
+    def pending_execution(self) -> List[Dot]:
+        """Committed commands not yet executed."""
+        return [dot for dot in self._nodes if dot not in self._executed]
+
+    def dependencies_of(self, dot: Dot) -> FrozenSet[Dot]:
+        node = self._nodes.get(dot)
+        return node.dependencies if node is not None else frozenset()
+
+    # -- execution ------------------------------------------------------------
+
+    def executable_components(self) -> List[List[Dot]]:
+        """Find SCCs that are ready to execute, in execution order.
+
+        A component is ready when every command reachable from it (following
+        dependency edges, ignoring already-executed commands) is committed.
+        Components are returned in reverse topological order, i.e. the order
+        in which they must be executed.
+        """
+        ready_roots = [
+            dot for dot in self._nodes
+            if dot not in self._executed
+        ]
+        if not ready_roots:
+            return []
+        blocked = self._blocked_set(ready_roots)
+        components = self._tarjan(
+            [dot for dot in ready_roots if dot not in blocked], blocked
+        )
+        ordered: List[List[Dot]] = []
+        for component in components:
+            ordered.append(
+                sorted(
+                    component,
+                    key=lambda dot: (self._nodes[dot].sequence, dot),
+                )
+            )
+        return ordered
+
+    def execute_ready(self) -> List[Dot]:
+        """Mark every ready command as executed and return them in order."""
+        order: List[Dot] = []
+        for component in self.executable_components():
+            for dot in component:
+                self._executed.add(dot)
+                order.append(dot)
+        return order
+
+    def largest_pending_component(self) -> int:
+        """Size of the largest SCC among committed, unexecuted commands
+        (ignoring blocking); used by the evaluation to report dependency-
+        chain growth."""
+        pending = self.pending_execution()
+        if not pending:
+            return 0
+        components = self._tarjan(pending, blocked=set(), ignore_blocked=True)
+        return max(len(component) for component in components) if components else 0
+
+    # -- internals --------------------------------------------------------------
+
+    def _blocked_set(self, roots: Sequence[Dot]) -> Set[Dot]:
+        """Commands that transitively depend on an uncommitted command.
+
+        Computed as a fixed point: a committed, unexecuted command is blocked
+        when one of its dependencies is neither executed nor committed, or is
+        itself blocked.
+        """
+        blocked: Set[Dot] = set()
+        candidates = [dot for dot in roots if dot not in self._executed]
+        changed = True
+        while changed:
+            changed = False
+            for dot in candidates:
+                if dot in blocked:
+                    continue
+                for dependency in self._nodes[dot].dependencies:
+                    if dependency in self._executed:
+                        continue
+                    if not self.is_committed(dependency) or dependency in blocked:
+                        blocked.add(dot)
+                        changed = True
+                        break
+        return blocked
+
+    def _tarjan(
+        self,
+        roots: Sequence[Dot],
+        blocked: Set[Dot],
+        ignore_blocked: bool = False,
+    ) -> List[List[Dot]]:
+        """Iterative Tarjan SCC over the committed, unexecuted, unblocked
+        subgraph; returns components in reverse topological order."""
+        index_counter = [0]
+        index: Dict[Dot, int] = {}
+        lowlink: Dict[Dot, int] = {}
+        on_stack: Set[Dot] = set()
+        stack: List[Dot] = []
+        components: List[List[Dot]] = []
+
+        def neighbours(dot: Dot) -> List[Dot]:
+            result = []
+            for dependency in self._nodes[dot].dependencies:
+                if dependency in self._executed:
+                    continue
+                if not self.is_committed(dependency):
+                    continue
+                if not ignore_blocked and dependency in blocked:
+                    continue
+                result.append(dependency)
+            return result
+
+        def strongconnect(root: Dot) -> None:
+            work: List[Tuple[Dot, int]] = [(root, 0)]
+            while work:
+                node, child_index = work[-1]
+                if child_index == 0:
+                    index[node] = index_counter[0]
+                    lowlink[node] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = neighbours(node)
+                for position in range(child_index, len(children)):
+                    child = children[position]
+                    if child not in index:
+                        work[-1] = (node, position + 1)
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if recurse:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: List[Dot] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+                work.pop()
+                if work:
+                    parent, _ = work[-1]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+        for root in roots:
+            if root in index:
+                continue
+            if root in self._executed:
+                continue
+            if not ignore_blocked and root in blocked:
+                continue
+            strongconnect(root)
+        return components
+
+
+class DependencyGraphExecutor:
+    """Drives a :class:`DependencyGraph` and records the execution order."""
+
+    def __init__(self) -> None:
+        self.graph = DependencyGraph()
+        self.execution_order: List[Dot] = []
+        self.component_sizes: List[int] = []
+
+    def commit(self, dot: Dot, dependencies: Iterable[Dot], sequence: int = 0) -> List[Dot]:
+        """Commit a command and return the commands that became executable."""
+        self.graph.commit(dot, dependencies, sequence)
+        return self.advance()
+
+    def advance(self) -> List[Dot]:
+        """Execute every ready component; return newly executed commands."""
+        newly: List[Dot] = []
+        components = self.graph.executable_components()
+        for component in components:
+            self.component_sizes.append(len(component))
+            for dot in component:
+                self.graph._executed.add(dot)
+                self.execution_order.append(dot)
+                newly.append(dot)
+        return newly
+
+    def executed(self) -> Tuple[Dot, ...]:
+        return tuple(self.execution_order)
+
+    def pending(self) -> List[Dot]:
+        return self.graph.pending_execution()
+
+    def max_component_size(self) -> int:
+        return max(self.component_sizes, default=0)

@@ -1,0 +1,208 @@
+"""Flexible Paxos (FPaxos) — the leader-based baseline (§6).
+
+FPaxos is classical Multi-Paxos with the Flexible-Paxos quorum refinement:
+during normal operation the leader replicates each command to a phase-2
+quorum of only ``f + 1`` processes (instead of a majority), and recovery
+would use phase-1 quorums of ``r - f``.
+
+The leader orders commands in a log; followers apply decided log slots in
+order.  Clients submit at the closest process, which forwards the command to
+the leader — this forwarding is what makes FPaxos unfair to clients far from
+the leader (Figure 5) and what makes the leader the throughput bottleneck
+(Figure 7).
+
+Leader failure is handled by re-running phase 1 from a higher ballot; since
+the evaluation only exercises the failure-free path, this implementation
+keeps a static leader (rank 0 of the partition by default) and exposes
+:meth:`set_leader` for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.base import Envelope, ProcessBase
+from repro.core.commands import Command, Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.identifiers import Dot, DotGenerator
+from repro.core.messages import ClientReply
+from repro.core.quorums import QuorumSystem
+from repro.protocols.dep_messages import MAccept, MAccepted, MDecided, MForward
+
+ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
+
+
+class FPaxosProcess(ProcessBase):
+    """One FPaxos replica (leader or follower)."""
+
+    name = "fpaxos"
+
+    def __init__(
+        self,
+        process_id: int,
+        config: ProtocolConfig,
+        partitioner: Optional[Partitioner] = None,
+        quorum_system: Optional[QuorumSystem] = None,
+        apply_fn: Optional[ApplyFn] = None,
+        leader_rank: int = 0,
+    ) -> None:
+        super().__init__(process_id, config)
+        self.partitioner = partitioner or Partitioner(config.num_partitions)
+        self.quorum_system = quorum_system or QuorumSystem(config)
+        self.apply_fn = apply_fn
+        self.leader_rank = leader_rank
+        self.dot_generator = DotGenerator(process_id)
+        self.ballot = 1
+        # -- leader state
+        self._next_slot = 1
+        self._slot_of_dot: Dict[Dot, int] = {}
+        self._accept_acks: Dict[int, Set[int]] = {}
+        self._proposals: Dict[int, Command] = {}
+        # -- replica state
+        #: Commands accepted in phase 2 (not necessarily decided yet).
+        self._accepted_log: Dict[int, Command] = {}
+        #: Commands known to be decided, applied in slot order.
+        self._decided_log: Dict[int, Command] = {}
+        self._applied_up_to = 0
+        self._submitted_here: Set[Dot] = set()
+        self._submitted_at: Dict[Dot, float] = {}
+
+    # -- roles ------------------------------------------------------------------
+
+    @property
+    def leader(self) -> int:
+        """Global identifier of the partition leader."""
+        return (
+            self.partition * self.config.num_processes + self.leader_rank
+        )
+
+    def is_leader(self) -> bool:
+        return self.process_id == self.leader
+
+    def set_leader(self, rank: int) -> None:
+        """Move the leader to another rank (used by failover tests)."""
+        if not 0 <= rank < self.config.num_processes:
+            raise ValueError("leader rank out of range")
+        self.leader_rank = rank
+        self.ballot += 1
+
+    # -- helpers -----------------------------------------------------------------
+
+    def new_command(
+        self,
+        keys,
+        payload_size: int = 100,
+        client_id: Optional[int] = None,
+    ) -> Command:
+        return Command.write(
+            self.dot_generator.next_id(),
+            keys,
+            payload_size=payload_size,
+            client_id=client_id,
+        )
+
+    def _phase2_quorum(self) -> List[int]:
+        """The ``f + 1`` closest processes including the leader."""
+        members = self.config.processes_of_partition(self.partition)
+        others = sorted(
+            (member for member in members if member != self.process_id),
+            key=lambda member: (
+                self.quorum_system._distance(self.process_id, member),
+                member,
+            ),
+        )
+        return [self.process_id] + others[: self.config.slow_quorum_size - 1]
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, command: Command, now: float = 0.0) -> None:
+        """Submit a command; non-leaders forward it to the leader."""
+        self._submitted_here.add(command.dot)
+        self._submitted_at[command.dot] = now
+        if self.is_leader():
+            self._order(command, now)
+        else:
+            self.send([self.leader], MForward(command.dot, command), now)
+
+    def _order(self, command: Command, now: float) -> None:
+        """Leader: assign the next log slot and run phase 2."""
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slot_of_dot[command.dot] = slot
+        self._proposals[slot] = command
+        self._accept_acks[slot] = set()
+        self.send(self._phase2_quorum(), MAccept(command.dot, command, slot, self.ballot), now)
+
+    # -- message handling -------------------------------------------------------------
+
+    def on_message(self, sender: int, message: object, now: float) -> None:
+        if isinstance(message, MForward):
+            self._on_forward(sender, message, now)
+        elif isinstance(message, MAccept):
+            self._on_accept(sender, message, now)
+        elif isinstance(message, MAccepted):
+            self._on_accepted(sender, message, now)
+        elif isinstance(message, MDecided):
+            self._on_decided(sender, message, now)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _on_forward(self, sender: int, message: MForward, now: float) -> None:
+        if not self.is_leader():
+            # Forward again in case the leader changed.
+            self.send([self.leader], message, now)
+            return
+        self._order(message.command, now)
+
+    def _on_accept(self, sender: int, message: MAccept, now: float) -> None:
+        if message.ballot < self.ballot:
+            return
+        self.ballot = message.ballot
+        self._accepted_log[message.slot] = message.command
+        self.send([sender], MAccepted(message.dot, message.slot, message.ballot), now)
+
+    def _on_accepted(self, sender: int, message: MAccepted, now: float) -> None:
+        if not self.is_leader() or message.ballot != self.ballot:
+            return
+        acks = self._accept_acks.setdefault(message.slot, set())
+        acks.add(sender)
+        if len(acks) < self.config.slow_quorum_size:
+            return
+        command = self._proposals.get(message.slot)
+        if command is None:
+            return
+        decided = MDecided(command.dot, command, message.slot)
+        self.send(self.partition_peers(), decided, now)
+
+    def _on_decided(self, sender: int, message: MDecided, now: float) -> None:
+        self._decided_log[message.slot] = message.command
+        self._apply_contiguous(now)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _apply_contiguous(self, now: float) -> None:
+        """Apply decided slots in order as long as the decided log is
+        contiguous (followers apply in the leader-chosen total order)."""
+        while (self._applied_up_to + 1) in self._decided_log:
+            slot = self._applied_up_to + 1
+            command = self._decided_log[slot]
+            result = self.apply_fn(command) if self.apply_fn else None
+            self._applied_up_to = slot
+            self.record_execution(command.dot, command, now)
+            if command.dot in self._submitted_here and command.client_id is not None:
+                self.outbox.append(
+                    Envelope(
+                        sender=self.process_id,
+                        destination=-(command.client_id + 1),
+                        message=ClientReply(command.dot, result=result),
+                    )
+                )
+
+    # -- introspection -------------------------------------------------------------------
+
+    def log_length(self) -> int:
+        """Number of decided slots known to this process."""
+        return len(self._decided_log)
+
+    def applied_up_to(self) -> int:
+        return self._applied_up_to

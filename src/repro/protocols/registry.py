@@ -1,0 +1,69 @@
+"""Registry mapping protocol names to process factories.
+
+The cluster runner, the experiments and the benchmarks select protocols by
+name (``"tempo"``, ``"atlas"``, ``"epaxos"``, ``"fpaxos"``, ``"caesar"``,
+``"janus"``), mirroring how the paper's framework selects the protocol under
+test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.base import ProcessBase
+from repro.core.commands import Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.process import TempoProcess
+from repro.core.quorums import QuorumSystem
+from repro.protocols.atlas import AtlasProcess
+from repro.protocols.caesar import CaesarProcess
+from repro.protocols.epaxos import EPaxosProcess
+from repro.protocols.fpaxos import FPaxosProcess
+from repro.protocols.janus import JanusProcess
+
+ProcessFactory = Callable[..., ProcessBase]
+
+#: Name -> process class for every protocol in the evaluation.
+PROTOCOLS: Dict[str, ProcessFactory] = {
+    "tempo": TempoProcess,
+    "atlas": AtlasProcess,
+    "epaxos": EPaxosProcess,
+    "caesar": CaesarProcess,
+    "fpaxos": FPaxosProcess,
+    "janus": JanusProcess,
+}
+
+
+def protocol_names() -> list:
+    """Names of all available protocols."""
+    return sorted(PROTOCOLS)
+
+
+def build_process(
+    name: str,
+    process_id: int,
+    config: ProtocolConfig,
+    partitioner: Optional[Partitioner] = None,
+    quorum_system: Optional[QuorumSystem] = None,
+    apply_fn=None,
+    **kwargs,
+) -> ProcessBase:
+    """Instantiate a protocol process by name.
+
+    Extra keyword arguments are forwarded to the process constructor (e.g.
+    ``leader_rank`` for FPaxos).
+    """
+    try:
+        factory = PROTOCOLS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {', '.join(protocol_names())}"
+        ) from exc
+    return factory(
+        process_id,
+        config,
+        partitioner=partitioner,
+        quorum_system=quorum_system,
+        apply_fn=apply_fn,
+        **kwargs,
+    )

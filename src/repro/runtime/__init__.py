@@ -1,0 +1,14 @@
+"""Asyncio runtime: run the protocol state machines as real concurrent tasks.
+
+While the discrete-event simulator (:mod:`repro.simulator`) drives the
+protocols with virtual time, this package runs them "for real": each process
+is an asyncio task with an inbox queue, messages travel over in-memory
+channels (optionally with injected latency), and clients are asyncio
+coroutines.  The examples use it to demonstrate the library outside the
+simulator, and the integration tests use it to exercise concurrency.
+"""
+
+from repro.runtime.cluster import AsyncCluster, AsyncClusterOptions
+from repro.runtime.channel import Channel, Router
+
+__all__ = ["AsyncCluster", "AsyncClusterOptions", "Channel", "Router"]

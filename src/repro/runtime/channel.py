@@ -1,0 +1,81 @@
+"""In-memory message channels for the asyncio runtime."""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class Channel:
+    """An inbox for one endpoint (process or client)."""
+
+    endpoint: int
+    queue: "asyncio.Queue[Tuple[int, object]]"
+
+    @classmethod
+    def create(cls, endpoint: int, maxsize: int = 0) -> "Channel":
+        return cls(endpoint=endpoint, queue=asyncio.Queue(maxsize=maxsize))
+
+    async def put(self, sender: int, message: object) -> None:
+        await self.queue.put((sender, message))
+
+    async def get(self) -> Tuple[int, object]:
+        return await self.queue.get()
+
+    def empty(self) -> bool:
+        return self.queue.empty()
+
+
+class Router:
+    """Routes messages between channels, optionally delaying them.
+
+    ``latency(sender, destination)`` returns the one-way delay in seconds;
+    by default delivery is immediate.  Crashed endpoints drop messages,
+    matching the crash-stop model.
+    """
+
+    def __init__(self, latency=None) -> None:
+        self._channels: Dict[int, Channel] = {}
+        self._latency = latency
+        self._crashed: set = set()
+        self.delivered = 0
+        self.dropped = 0
+
+    def register(self, endpoint: int) -> Channel:
+        """Create (or return) the channel of ``endpoint``."""
+        channel = self._channels.get(endpoint)
+        if channel is None:
+            channel = Channel.create(endpoint)
+            self._channels[endpoint] = channel
+        return channel
+
+    def channel(self, endpoint: int) -> Optional[Channel]:
+        return self._channels.get(endpoint)
+
+    def crash(self, endpoint: int) -> None:
+        self._crashed.add(endpoint)
+
+    def is_crashed(self, endpoint: int) -> bool:
+        return endpoint in self._crashed
+
+    async def send(self, sender: int, destination: int, message: object) -> None:
+        """Deliver one message, honouring latency and crashes."""
+        if destination in self._crashed:
+            self.dropped += 1
+            return
+        channel = self._channels.get(destination)
+        if channel is None:
+            self.dropped += 1
+            return
+        if self._latency is not None:
+            delay = self._latency(sender, destination)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        await channel.put(sender, message)
+        self.delivered += 1
+
+    def send_soon(self, sender: int, destination: int, message: object) -> None:
+        """Schedule a delivery without awaiting it."""
+        asyncio.get_event_loop().create_task(self.send(sender, destination, message))

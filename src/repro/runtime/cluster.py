@@ -1,0 +1,198 @@
+"""AsyncCluster: run a replicated deployment as asyncio tasks.
+
+Each protocol process runs in its own task: it waits on its inbox, handles
+one message at a time, periodically ticks, and its outbox is drained into
+the router after every step.  Clients submit commands through
+:meth:`AsyncCluster.submit` and await the execution reply.
+
+The runtime works with any protocol from :mod:`repro.protocols.registry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.base import ProcessBase
+from repro.core.commands import Command, Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.identifiers import Dot
+from repro.core.messages import ClientReply
+from repro.core.quorums import QuorumSystem
+from repro.kvstore.store import KeyValueStore
+from repro.protocols.registry import build_process
+from repro.runtime.channel import Router
+
+
+@dataclass
+class AsyncClusterOptions:
+    """Tunables of the asyncio runtime."""
+
+    protocol: str = "tempo"
+    num_processes: int = 3
+    faults: int = 1
+    num_partitions: int = 1
+    tick_interval: float = 0.005
+    latency_seconds: float = 0.0
+    protocol_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+class AsyncCluster:
+    """A local cluster of protocol processes driven by asyncio."""
+
+    def __init__(self, options: Optional[AsyncClusterOptions] = None) -> None:
+        self.options = options or AsyncClusterOptions()
+        self.config = ProtocolConfig(
+            num_processes=self.options.num_processes,
+            faults=self.options.faults,
+            num_partitions=self.options.num_partitions,
+        )
+        self.partitioner = Partitioner(self.config.num_partitions)
+        self.quorum_system = QuorumSystem(self.config)
+        latency = None
+        if self.options.latency_seconds > 0:
+            latency = lambda sender, destination: self.options.latency_seconds  # noqa: E731
+        self.router = Router(latency=latency)
+        self.stores: Dict[int, KeyValueStore] = {}
+        self.processes: List[ProcessBase] = []
+        for process_id in range(self.config.total_processes()):
+            store = KeyValueStore(self.config.partition_of_process(process_id))
+            self.stores[process_id] = store
+            process = build_process(
+                self.options.protocol,
+                process_id,
+                self.config,
+                partitioner=self.partitioner,
+                quorum_system=self.quorum_system,
+                apply_fn=store.apply,
+                **self.options.protocol_kwargs,
+            )
+            self.processes.append(process)
+            self.router.register(process_id)
+        self._tasks: List[asyncio.Task] = []
+        self._running = False
+        self._pending_replies: Dict[Dot, asyncio.Future] = {}
+        self._client_endpoint = -1
+        self.router.register(self._client_endpoint)
+        self._start_time = time.monotonic()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start one task per process plus the client-reply dispatcher."""
+        if self._running:
+            return
+        self._running = True
+        for process in self.processes:
+            self._tasks.append(asyncio.create_task(self._run_process(process)))
+        self._tasks.append(asyncio.create_task(self._run_client_inbox()))
+
+    async def stop(self) -> None:
+        """Cancel all tasks and wait for them to finish."""
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    async def __aenter__(self) -> "AsyncCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- process loop ---------------------------------------------------------------
+
+    def _now_ms(self) -> float:
+        return (time.monotonic() - self._start_time) * 1000.0
+
+    async def _flush(self, process: ProcessBase) -> None:
+        for envelope in process.drain_outbox():
+            await self.router.send(
+                envelope.sender, envelope.destination, envelope.message
+            )
+
+    async def _run_process(self, process: ProcessBase) -> None:
+        channel = self.router.channel(process.process_id)
+        assert channel is not None
+        try:
+            while True:
+                try:
+                    sender, message = await asyncio.wait_for(
+                        channel.get(), timeout=self.options.tick_interval
+                    )
+                    process.deliver(sender, message, self._now_ms())
+                except asyncio.TimeoutError:
+                    process.tick(self._now_ms())
+                await self._flush(process)
+        except asyncio.CancelledError:
+            return
+
+    async def _run_client_inbox(self) -> None:
+        channel = self.router.channel(self._client_endpoint)
+        assert channel is not None
+        try:
+            while True:
+                _, message = await channel.get()
+                if isinstance(message, ClientReply):
+                    future = self._pending_replies.pop(message.dot, None)
+                    if future is not None and not future.done():
+                        future.set_result(message)
+        except asyncio.CancelledError:
+            return
+
+    # -- client API ---------------------------------------------------------------------
+
+    async def submit(
+        self,
+        keys: Sequence[str],
+        process_id: int = 0,
+        payload_size: int = 64,
+        timeout: float = 10.0,
+    ) -> ClientReply:
+        """Submit a write command at ``process_id`` and await its execution."""
+        process = self.processes[process_id]
+        dot = process.dot_generator.next_id()
+        command = Command.write(dot, keys, payload_size=payload_size, client_id=0)
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending_replies[dot] = future
+        process.submit(command, self._now_ms())
+        await self._flush(process)
+        return await asyncio.wait_for(future, timeout=timeout)
+
+    async def submit_many(
+        self, keys_list: Sequence[Sequence[str]], timeout: float = 30.0
+    ) -> List[ClientReply]:
+        """Submit several commands concurrently, round-robin over processes."""
+        coros = [
+            self.submit(keys, process_id=index % len(self.processes), timeout=timeout)
+            for index, keys in enumerate(keys_list)
+        ]
+        return list(await asyncio.gather(*coros))
+
+    # -- introspection -------------------------------------------------------------------
+
+    def value_of(self, key: str, process_id: int = 0) -> Optional[str]:
+        """Value of ``key`` in the store of ``process_id``."""
+        return self.stores[process_id].get(key)
+
+    def executed_counts(self) -> Dict[int, int]:
+        """Number of commands executed per process."""
+        return {
+            process.process_id: len(process.executed) for process in self.processes
+        }
+
+    def stores_agree(self) -> bool:
+        """Whether every replica of every partition has identical contents."""
+        by_partition: Dict[int, List[KeyValueStore]] = {}
+        for process_id, store in self.stores.items():
+            partition = self.config.partition_of_process(process_id)
+            by_partition.setdefault(partition, []).append(store)
+        for stores in by_partition.values():
+            snapshots = [store.snapshot() for store in stores]
+            if any(snapshot != snapshots[0] for snapshot in snapshots[1:]):
+                return False
+        return True

@@ -1,0 +1,33 @@
+"""Discrete-event geo-distributed simulator.
+
+This package is the substrate on which the latency experiments run.  It
+models processes placed at sites, message delivery with per-site-pair
+latencies (the EC2 ping matrix of Appendix A by default), periodic ticks,
+crashes, and closed-loop clients.
+
+The simulator corresponds to the paper's "simulator" execution mode: it
+computes observed client latency in a given wide-area configuration while
+disregarding CPU and network bandwidth bottlenecks (those are modelled
+separately by :mod:`repro.experiments.throughput_model` /
+:mod:`repro.simulator.resources`).
+"""
+
+from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.latency import EC2_PING_LATENCIES, LatencyMatrix, ec2_latency_matrix
+from repro.simulator.network import Network, NetworkOptions
+from repro.simulator.sim import Simulation, SimulationOptions
+from repro.simulator.inline import InlineNetwork
+
+__all__ = [
+    "EC2_PING_LATENCIES",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "InlineNetwork",
+    "LatencyMatrix",
+    "Network",
+    "NetworkOptions",
+    "Simulation",
+    "SimulationOptions",
+    "ec2_latency_matrix",
+]

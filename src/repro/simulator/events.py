@@ -1,0 +1,91 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence)`` so that simultaneous events are
+processed in insertion order, which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+class EventKind(enum.Enum):
+    """Kinds of simulator events."""
+
+    MESSAGE = "message"
+    TICK = "tick"
+    CLIENT = "client"
+    CRASH = "crash"
+    CUSTOM = "custom"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event."""
+
+    time: float
+    sequence: int
+    kind: EventKind = field(compare=False)
+    target: int = field(compare=False, default=-1)
+    payload: Any = field(compare=False, default=None)
+    sender: int = field(compare=False, default=-1)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._size = 0
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        target: int = -1,
+        payload: Any = None,
+        sender: int = -1,
+    ) -> Event:
+        """Schedule an event and return it."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(
+            time=time,
+            sequence=next(self._counter),
+            kind=kind,
+            target=target,
+            payload=payload,
+            sender=sender,
+        )
+        heapq.heappush(self._heap, event)
+        self._size += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        self._size -= 1
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest scheduled event, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Drain the queue in time order (consumes it)."""
+        while self._heap:
+            event = self.pop()
+            if event is not None:
+                yield event

@@ -1,0 +1,176 @@
+"""dstat-style monitoring of a running simulation.
+
+The paper's framework records CPU and network utilization (dstat) alongside
+every run and uses it to explain where each protocol saturates.  The
+simulator equivalent tracks, per process and per sampling interval:
+
+* messages handled (in) and sent (out), split by message kind;
+* bytes received and sent;
+* committed/executed command counts;
+* pending (committed-but-unexecuted) backlog, which is the executor queue
+  the dependency-based protocols accumulate under contention.
+
+A :class:`SimulationMonitor` is attached to a :class:`repro.simulator.sim.Simulation`
+via :meth:`attach`; it samples on a fixed simulated-time interval and the
+collected series can be summarised or rendered as rows for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.base import ProcessBase
+
+
+@dataclass
+class ProcessSample:
+    """One sample of one process's counters."""
+
+    time: float
+    process_id: int
+    messages_handled: int
+    messages_delta: int
+    executed: int
+    executed_delta: int
+    pending_execution: int
+    outbox_backlog: int
+
+
+@dataclass
+class MonitorSeries:
+    """All samples of one process, in time order."""
+
+    process_id: int
+    samples: List[ProcessSample] = field(default_factory=list)
+
+    def peak_pending(self) -> int:
+        """Largest committed-but-unexecuted backlog observed."""
+        return max((sample.pending_execution for sample in self.samples), default=0)
+
+    def total_messages(self) -> int:
+        return self.samples[-1].messages_handled if self.samples else 0
+
+    def total_executed(self) -> int:
+        return self.samples[-1].executed if self.samples else 0
+
+    def message_rate_per_second(self) -> float:
+        """Average messages handled per second of simulated time."""
+        if len(self.samples) < 2:
+            return 0.0
+        span_ms = self.samples[-1].time - self.samples[0].time
+        if span_ms <= 0:
+            return 0.0
+        handled = self.samples[-1].messages_handled - self.samples[0].messages_handled
+        return handled / (span_ms / 1000.0)
+
+
+class SimulationMonitor:
+    """Samples process counters on a fixed simulated-time interval."""
+
+    def __init__(self, interval_ms: float = 100.0) -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.interval_ms = interval_ms
+        self.series: Dict[int, MonitorSeries] = {}
+        self._processes: Dict[int, ProcessBase] = {}
+        self._last_messages: Dict[int, int] = {}
+        self._last_executed: Dict[int, int] = {}
+        self._simulation = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, simulation) -> "SimulationMonitor":
+        """Attach to a simulation and schedule the periodic sampling."""
+        self._simulation = simulation
+        for process_id, process in simulation.processes.items():
+            self._processes[process_id] = process
+            self.series[process_id] = MonitorSeries(process_id)
+            self._last_messages[process_id] = 0
+            self._last_executed[process_id] = 0
+        simulation.schedule(self.interval_ms, self._sample)
+        return self
+
+    def observe(self, processes: List[ProcessBase], now: float) -> None:
+        """One-shot sampling outside a simulation (e.g. inline networks)."""
+        for process in processes:
+            if process.process_id not in self.series:
+                self._processes[process.process_id] = process
+                self.series[process.process_id] = MonitorSeries(process.process_id)
+                self._last_messages[process.process_id] = 0
+                self._last_executed[process.process_id] = 0
+        self._record(now)
+
+    # -- sampling ----------------------------------------------------------------
+
+    def _sample(self, now: float) -> None:
+        self._record(now)
+        if self._simulation is not None:
+            self._simulation.schedule(self.interval_ms, self._sample)
+
+    def _pending_of(self, process: ProcessBase) -> int:
+        committed = getattr(process, "_committed", None)
+        if committed is not None:
+            return len(committed)
+        executor = getattr(process, "executor", None)
+        if executor is not None:
+            return len(executor.pending())
+        return 0
+
+    def _record(self, now: float) -> None:
+        for process_id, process in self._processes.items():
+            handled = sum(process.message_counts.values())
+            executed = len(process.executed)
+            series = self.series[process_id]
+            series.samples.append(
+                ProcessSample(
+                    time=now,
+                    process_id=process_id,
+                    messages_handled=handled,
+                    messages_delta=handled - self._last_messages[process_id],
+                    executed=executed,
+                    executed_delta=executed - self._last_executed[process_id],
+                    pending_execution=self._pending_of(process),
+                    outbox_backlog=len(process.outbox),
+                )
+            )
+            self._last_messages[process_id] = handled
+            self._last_executed[process_id] = executed
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per process: totals, rates and peak backlog."""
+        rows: List[Dict[str, object]] = []
+        for process_id in sorted(self.series):
+            series = self.series[process_id]
+            rows.append(
+                {
+                    "process": process_id,
+                    "messages": series.total_messages(),
+                    "messages_per_s": round(series.message_rate_per_second(), 1),
+                    "executed": series.total_executed(),
+                    "peak_pending": series.peak_pending(),
+                }
+            )
+        return rows
+
+    def busiest_process(self) -> Optional[int]:
+        """The process that handled the most messages (the bottleneck
+        candidate — the leader for FPaxos, any replica for the leaderless
+        protocols)."""
+        if not self.series:
+            return None
+        return max(self.series, key=lambda pid: self.series[pid].total_messages())
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of messages handled across processes.
+
+        Close to 1.0 for leaderless protocols; substantially above 1.0 for
+        leader-based ones.
+        """
+        totals = [series.total_messages() for series in self.series.values()]
+        if not totals or sum(totals) == 0:
+            return 1.0
+        mean = sum(totals) / len(totals)
+        return max(totals) / mean

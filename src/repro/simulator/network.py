@@ -1,0 +1,138 @@
+"""Simulated wide-area network.
+
+The network delivers messages between processes (and clients) with one-way
+latencies taken from a :class:`repro.simulator.latency.LatencyMatrix`, plus
+optional jitter.  Crashed processes silently drop incoming messages (crash-
+stop model).  Message loss can be injected for liveness testing; the paper's
+protocols assume fair-lossy links, which periodic re-broadcast copes with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.simulator.latency import LatencyMatrix
+from repro.simulator.rng import SeededRng
+
+
+@dataclass
+class NetworkOptions:
+    """Tunables for the simulated network."""
+
+    jitter_ms: float = 0.0
+    drop_probability: float = 0.0
+    local_latency_ms: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.jitter_ms < 0:
+            raise ValueError("jitter_ms must be non-negative")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if self.local_latency_ms < 0:
+            raise ValueError("local_latency_ms must be non-negative")
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by the network."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class Network:
+    """Latency-aware message transport between simulation endpoints.
+
+    Endpoints are integers: non-negative identifiers are processes, negative
+    identifiers are clients (the cluster layer's convention).  Every endpoint
+    is placed at a site; the latency between two endpoints is the site-to-site
+    one-way latency (or ``local_latency_ms`` when co-located).
+    """
+
+    def __init__(
+        self,
+        latency: LatencyMatrix,
+        options: Optional[NetworkOptions] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.latency_matrix = latency
+        self.options = options or NetworkOptions()
+        self.rng = rng or SeededRng()
+        self._site_of: Dict[int, str] = {}
+        self._crashed: Set[int] = set()
+        self.stats = NetworkStats()
+
+    # -- topology -------------------------------------------------------------
+
+    def place(self, endpoint: int, site: str) -> None:
+        """Place an endpoint (process or client) at a site."""
+        if site not in self.latency_matrix.sites:
+            raise KeyError(f"unknown site {site!r}")
+        self._site_of[endpoint] = site
+
+    def site_of(self, endpoint: int) -> str:
+        """Site hosting ``endpoint``."""
+        try:
+            return self._site_of[endpoint]
+        except KeyError as exc:
+            raise KeyError(f"endpoint {endpoint} was never placed") from exc
+
+    def crash(self, endpoint: int) -> None:
+        """Mark an endpoint as crashed; messages to it are dropped."""
+        self._crashed.add(endpoint)
+
+    def is_crashed(self, endpoint: int) -> bool:
+        return endpoint in self._crashed
+
+    # -- delivery -------------------------------------------------------------
+
+    def delay(self, sender: int, destination: int) -> float:
+        """One-way delay between two endpoints, including jitter."""
+        site_a = self.site_of(sender)
+        site_b = self.site_of(destination)
+        if site_a == site_b:
+            base = self.options.local_latency_ms
+        else:
+            base = self.latency_matrix.latency(site_a, site_b)
+        if self.options.jitter_ms:
+            base += self.rng.uniform_between(0.0, self.options.jitter_ms)
+        return base
+
+    def should_drop(self) -> bool:
+        """Whether an injected message drop occurs."""
+        if not self.options.drop_probability:
+            return False
+        return self.rng.uniform() < self.options.drop_probability
+
+    def transmit(
+        self,
+        sender: int,
+        destination: int,
+        message: object,
+        now: float,
+        deliver: Callable[[float, int, int, object], None],
+    ) -> Optional[float]:
+        """Route one message.
+
+        ``deliver(at, sender, destination, message)`` is invoked (typically
+        it schedules a simulator event) unless the message is dropped or the
+        destination has crashed.  Returns the delivery time, or ``None`` when
+        the message will never arrive.
+        """
+        self.stats.messages_sent += 1
+        kind = type(message).__name__
+        self.stats.per_kind[kind] = self.stats.per_kind.get(kind, 0) + 1
+        size = getattr(message, "size_bytes", None)
+        if callable(size):
+            self.stats.bytes_sent += int(size())
+        if destination in self._crashed or self.should_drop():
+            self.stats.messages_dropped += 1
+            return None
+        at = now + self.delay(sender, destination)
+        deliver(at, sender, destination, message)
+        self.stats.messages_delivered += 1
+        return at

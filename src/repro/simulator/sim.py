@@ -1,0 +1,205 @@
+"""The discrete-event simulation loop.
+
+A :class:`Simulation` owns a set of protocol processes (any
+:class:`repro.core.base.ProcessBase` subclass), a :class:`Network`, optional
+clients, and an event queue.  It repeatedly pops the earliest event, delivers
+it, drains the outboxes of the affected processes into new network events,
+and schedules periodic ticks.
+
+Time is measured in milliseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.base import Envelope, ProcessBase
+from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.network import Network
+
+
+@dataclass
+class SimulationOptions:
+    """Tunables of the simulation loop."""
+
+    tick_interval: float = 5.0
+    max_time: float = 60_000.0
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.tick_interval <= 0:
+            raise ValueError("tick_interval must be positive")
+        if self.max_time <= 0:
+            raise ValueError("max_time must be positive")
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+
+
+@dataclass
+class SimulationStats:
+    """Counters exposed after a run."""
+
+    events_processed: int = 0
+    messages_delivered: int = 0
+    ticks: int = 0
+    end_time: float = 0.0
+    per_process_messages: Dict[int, int] = field(default_factory=dict)
+
+
+class Simulation:
+    """Discrete-event simulation of a replicated deployment."""
+
+    def __init__(
+        self,
+        processes: Iterable[ProcessBase],
+        network: Network,
+        options: Optional[SimulationOptions] = None,
+    ) -> None:
+        self.processes: Dict[int, ProcessBase] = {
+            process.process_id: process for process in processes
+        }
+        self.network = network
+        self.options = options or SimulationOptions()
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.stats = SimulationStats()
+        #: Handlers for envelopes addressed to endpoints that are not
+        #: processes (e.g. clients).  Keyed by endpoint id.
+        self.external_endpoints: Dict[int, Callable[[int, object, float], None]] = {}
+        self._stop_predicate: Optional[Callable[["Simulation"], bool]] = None
+        for process_id in self.processes:
+            self.queue.push(self.options.tick_interval, EventKind.TICK, target=process_id)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def register_external(
+        self, endpoint: int, handler: Callable[[int, object, float], None]
+    ) -> None:
+        """Register a non-process endpoint (typically a client).
+
+        ``handler(sender, message, now)`` is called on delivery.
+        """
+        self.external_endpoints[endpoint] = handler
+
+    def set_stop_predicate(self, predicate: Callable[["Simulation"], bool]) -> None:
+        """Stop the run early once ``predicate(simulation)`` becomes true."""
+        self._stop_predicate = predicate
+
+    def schedule(
+        self, delay: float, callback: Callable[[float], None]
+    ) -> None:
+        """Schedule an arbitrary callback ``delay`` ms from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.queue.push(self.now + delay, EventKind.CUSTOM, payload=callback)
+
+    def submit_at(self, time: float, process_id: int, command) -> None:
+        """Schedule a command submission at ``time`` on ``process_id``."""
+        self.queue.push(time, EventKind.CLIENT, target=process_id, payload=command)
+
+    def crash_at(self, time: float, process_id: int) -> None:
+        """Schedule a crash of ``process_id`` at ``time``."""
+        self.queue.push(time, EventKind.CRASH, target=process_id)
+
+    # -- outbox routing -----------------------------------------------------------
+
+    def route_envelopes(self, envelopes: List[Envelope]) -> None:
+        """Turn outgoing envelopes into future MESSAGE events."""
+        for envelope in envelopes:
+            self.network.transmit(
+                envelope.sender,
+                envelope.destination,
+                envelope.message,
+                self.now,
+                self._schedule_delivery,
+            )
+
+    def _schedule_delivery(
+        self, at: float, sender: int, destination: int, message: object
+    ) -> None:
+        self.queue.push(
+            at, EventKind.MESSAGE, target=destination, payload=message, sender=sender
+        )
+
+    def flush_outboxes(self) -> None:
+        """Drain every process outbox into the network."""
+        for process in self.processes.values():
+            envelopes = process.drain_outbox()
+            if envelopes:
+                self.route_envelopes(envelopes)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationStats:
+        """Run the simulation until ``until`` (or the configured maximum)."""
+        horizon = min(until if until is not None else self.options.max_time,
+                      self.options.max_time)
+        while self.queue and self.stats.events_processed < self.options.max_events:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > horizon:
+                break
+            event = self.queue.pop()
+            assert event is not None
+            self.now = event.time
+            self.stats.events_processed += 1
+            if event.kind is EventKind.MESSAGE:
+                self._handle_message_event(event.sender, event.target, event.payload)
+            elif event.kind is EventKind.TICK:
+                self._handle_tick_event(event.target)
+            elif event.kind is EventKind.CLIENT:
+                self._handle_client_event(event.target, event.payload)
+            elif event.kind is EventKind.CRASH:
+                self._handle_crash_event(event.target)
+            elif event.kind is EventKind.CUSTOM:
+                event.payload(self.now)
+                self.flush_outboxes()
+            if self._stop_predicate is not None and self._stop_predicate(self):
+                break
+        self.stats.end_time = self.now
+        return self.stats
+
+    # -- event handlers --------------------------------------------------------------
+
+    def _handle_message_event(self, sender: int, destination: int, message: object) -> None:
+        self.stats.messages_delivered += 1
+        process = self.processes.get(destination)
+        if process is not None:
+            self.stats.per_process_messages[destination] = (
+                self.stats.per_process_messages.get(destination, 0) + 1
+            )
+            process.deliver(sender, message, self.now)
+            self.flush_outboxes()
+            return
+        handler = self.external_endpoints.get(destination)
+        if handler is not None:
+            handler(sender, message, self.now)
+            self.flush_outboxes()
+
+    def _handle_tick_event(self, process_id: int) -> None:
+        process = self.processes.get(process_id)
+        if process is None:
+            return
+        self.stats.ticks += 1
+        if process.alive:
+            process.tick(self.now)
+            self.flush_outboxes()
+        self.queue.push(
+            self.now + self.options.tick_interval, EventKind.TICK, target=process_id
+        )
+
+    def _handle_client_event(self, process_id: int, command) -> None:
+        process = self.processes.get(process_id)
+        if process is None or not process.alive:
+            return
+        process.submit(command, self.now)
+        self.flush_outboxes()
+
+    def _handle_crash_event(self, process_id: int) -> None:
+        process = self.processes.get(process_id)
+        if process is None:
+            return
+        process.crash()
+        self.network.crash(process_id)
+        for other in self.processes.values():
+            other.set_alive_view(process_id, False)

@@ -1,0 +1,89 @@
+"""YCSB+T workload for the partial-replication experiments (§6.4).
+
+Clients submit transactions that access two keys picked at random following
+the YCSB access pattern (a zipfian distribution over the key space).  The
+paper uses three YCSB mixes for Janus*:
+
+* workload C — read-only (w = 0 %), the best case for Janus*;
+* workload B — read-heavy (w = 5 % writes);
+* workload A — update-heavy (w = 50 % writes);
+
+and two contention levels, ``zipf = 0.5`` and ``zipf = 0.7``.  Tempo does
+not distinguish reads from writes, so a single Tempo workload covers all
+mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kvstore.sharding import ShardMap
+from repro.simulator.rng import SeededRng, ZipfSampler
+
+#: Named YCSB mixes: write ratio per workload letter.
+YCSB_WORKLOADS: Dict[str, float] = {
+    "A": 0.50,
+    "B": 0.05,
+    "C": 0.00,
+}
+
+
+@dataclass
+class YcsbTWorkload:
+    """Two-key zipfian transactions over a sharded key space."""
+
+    client_id: int
+    shard_map: ShardMap
+    zipf: float = 0.5
+    write_ratio: float = 0.05
+    keys_per_transaction: int = 2
+    keys_per_shard: int = 10_000
+    payload_size: int = 100
+    rng: Optional[SeededRng] = None
+    _sampler: Optional[ZipfSampler] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        if self.keys_per_transaction < 1:
+            raise ValueError("keys_per_transaction must be >= 1")
+        if self.rng is None:
+            self.rng = SeededRng(seed=self.client_id + 1)
+        total_keys = min(
+            self.shard_map.total_keys(),
+            self.keys_per_shard * self.shard_map.num_shards,
+        )
+        self._sampler = ZipfSampler(total_keys, self.zipf, rng=self.rng)
+
+    @classmethod
+    def from_workload_letter(
+        cls, client_id: int, shard_map: ShardMap, letter: str, zipf: float = 0.5, **kwargs
+    ) -> "YcsbTWorkload":
+        """Build the workload for a YCSB letter (A, B or C)."""
+        try:
+            write_ratio = YCSB_WORKLOADS[letter.upper()]
+        except KeyError as exc:
+            raise KeyError(f"unknown YCSB workload {letter!r}") from exc
+        return cls(
+            client_id=client_id,
+            shard_map=shard_map,
+            zipf=zipf,
+            write_ratio=write_ratio,
+            **kwargs,
+        )
+
+    def next_keys(self) -> List[str]:
+        """Keys accessed by the next transaction (popularity-ranked)."""
+        assert self._sampler is not None
+        indices = self._sampler.sample_distinct(self.keys_per_transaction)
+        return [f"user{index}" for index in indices]
+
+    def next_is_read(self) -> bool:
+        """Whether the next transaction is read-only."""
+        assert self.rng is not None
+        return self.rng.uniform() >= self.write_ratio
+
+    def shards_of(self, keys: List[str]) -> List[int]:
+        """Shards accessed by a set of keys."""
+        return self.shard_map.shards_of(keys)

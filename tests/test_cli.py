@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "tempo"
+        assert args.sites == 5
+        assert args.workload == "micro"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "raft"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig8"])
+        assert args.name == "fig8"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_protocols_lists_all(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == {"tempo", "atlas", "epaxos", "caesar", "fpaxos", "janus"}
+
+    def test_throughput_command(self, capsys):
+        assert main(["throughput", "--protocol", "atlas", "--conflict", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "atlas" in out and "execution" in out
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "fast_path" in out
+
+    def test_figure_fig8(self, capsys):
+        assert main(["figure", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "batching" in out
+
+    def test_figure_fig9(self, capsys):
+        assert main(["figure", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "tempo_kops" in out
+
+    def test_run_small_experiment(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol", "tempo",
+                "--sites", "3",
+                "--clients", "2",
+                "--duration", "1200",
+                "--warmup", "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-site latency" in out
+        assert "throughput" in out

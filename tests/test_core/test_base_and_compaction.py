@@ -1,0 +1,166 @@
+"""Tests for the process base class, promise garbage collection and state
+compaction."""
+
+from __future__ import annotations
+
+from repro.core.base import Envelope, ProcessBase
+from repro.core.commands import Command, Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.identifiers import Dot
+from repro.core.phases import Phase
+from repro.core.process import TempoProcess
+from repro.core.promises import Promise, PromiseTracker
+from repro.simulator.inline import InlineNetwork
+
+
+class Recorder(ProcessBase):
+    def __init__(self, process_id, config):
+        super().__init__(process_id, config)
+        self.handled = []
+
+    def submit(self, command, now=0.0):
+        self.send([self.process_id], command, now)
+
+    def on_message(self, sender, message, now):
+        self.handled.append((sender, message))
+
+
+class TestProcessBase:
+    def _config(self):
+        return ProtocolConfig(num_processes=3, faults=1)
+
+    def test_self_addressed_messages_are_delivered_immediately(self):
+        process = Recorder(0, self._config())
+        process.send([0, 1], "msg", 0.0)
+        assert process.handled == [(0, "msg")]
+        assert process.outbox == [Envelope(0, 1, "msg")]
+
+    def test_drain_outbox_clears_it(self):
+        process = Recorder(0, self._config())
+        process.send([1, 2], "msg", 0.0)
+        assert len(process.drain_outbox()) == 2
+        assert process.drain_outbox() == []
+
+    def test_crashed_process_ignores_deliveries(self):
+        process = Recorder(0, self._config())
+        process.crash()
+        process.deliver(1, "msg", 0.0)
+        assert process.handled == []
+        process.recover_process()
+        process.deliver(1, "msg", 0.0)
+        assert process.handled == [(1, "msg")]
+
+    def test_message_counts_track_kinds(self):
+        process = Recorder(0, self._config())
+        process.deliver(1, "a", 0.0)
+        process.deliver(1, "b", 0.0)
+        assert process.message_counts["str"] == 2
+
+    def test_leader_of_partition_skips_suspected_processes(self):
+        process = Recorder(2, self._config())
+        assert process.leader_of_partition() == 0
+        process.set_alive_view(0, False)
+        assert process.leader_of_partition() == 1
+
+    def test_execution_listener_and_record(self):
+        process = Recorder(0, self._config())
+        seen = []
+        process.add_execution_listener(lambda pid, dot, cmd, now: seen.append(dot))
+        command = Command.write(Dot(0, 1), ["k"])
+        process.record_execution(command.dot, command, 1.0)
+        assert seen == [Dot(0, 1)]
+        assert process.executed_dots() == [Dot(0, 1)]
+
+
+class TestPromiseGarbageCollection:
+    def test_acked_detached_promises_are_dropped(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([1, 2, 3, 4])
+        tracker.snapshot(drain=True)  # everything broadcast once
+        dropped = tracker.garbage_collect(3, executed_dots=[])
+        assert dropped == 3
+        assert tracker.detached() == {Promise(0, 4)}
+
+    def test_pending_promises_are_never_dropped(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([1, 2])
+        # Not broadcast yet: still pending, must survive collection.
+        dropped = tracker.garbage_collect(5, executed_dots=[])
+        assert dropped == 0
+        assert tracker.has_pending()
+
+    def test_attached_promises_of_executed_commands_are_dropped(self):
+        tracker = PromiseTracker(0)
+        tracker.add_attached(Dot(1, 1), 2)
+        tracker.snapshot(drain=True)
+        dropped = tracker.garbage_collect(5, executed_dots=[Dot(1, 1)])
+        assert dropped == 1
+        assert tracker.attached_for(Dot(1, 1)) == frozenset()
+
+    def test_attached_promises_above_the_threshold_are_kept(self):
+        tracker = PromiseTracker(0)
+        tracker.add_attached(Dot(1, 1), 9)
+        tracker.snapshot(drain=True)
+        dropped = tracker.garbage_collect(5, executed_dots=[Dot(1, 1)])
+        assert dropped == 0
+        assert tracker.attached_for(Dot(1, 1)) == {Promise(0, 9)}
+
+
+class TestTempoCompaction:
+    def _cluster(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        partitioner = Partitioner(1)
+        processes = [
+            TempoProcess(process_id, config, partitioner=partitioner)
+            for process_id in range(3)
+        ]
+        return processes, InlineNetwork(processes)
+
+    def test_compact_drops_payloads_of_executed_commands(self):
+        processes, network = self._cluster()
+        commands = []
+        for index in range(5):
+            process = processes[index % 3]
+            command = process.new_command(["hot"])
+            process.submit(command, 0.0)
+            commands.append(command)
+        network.settle(rounds=15)
+        target = processes[0]
+        compacted = target.compact()
+        assert compacted > 0
+        for command in commands:
+            record = target._info[command.dot]
+            assert record.phase is Phase.EXECUTE
+            assert record.command is None
+
+    def test_compact_is_idempotent(self):
+        processes, network = self._cluster()
+        command = processes[0].new_command(["x"])
+        processes[0].submit(command, 0.0)
+        network.settle()
+        assert processes[0].compact() >= 1
+        assert processes[0].compact() == 0
+
+    def test_compact_never_touches_pending_commands(self):
+        processes, network = self._cluster()
+        command = processes[0].new_command(["x"])
+        processes[0].submit(command, 0.0)
+        # No delivery: the command is still pending at the coordinator.
+        assert processes[0].compact() == 0
+        record = processes[0]._info[command.dot]
+        assert record.command is not None
+
+    def test_duplicate_messages_after_compaction_are_still_ignored(self):
+        processes, network = self._cluster()
+        command = processes[0].new_command(["x"])
+        processes[0].submit(command, 0.0)
+        network.settle()
+        for process in processes:
+            process.compact()
+        # Replay the original commit: phases are retained, so the replica
+        # neither crashes nor re-executes.
+        from repro.core.messages import MCommit
+
+        before = len(processes[1].executed_dots())
+        processes[1].deliver(0, MCommit(command.dot, timestamp=1, partition=0), 0.0)
+        assert len(processes[1].executed_dots()) == before

@@ -1,0 +1,137 @@
+"""Unit tests for commands, conflicts and partition mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.commands import Command, KeyGenerator, KeyOp, OpKind, Partitioner
+from repro.core.identifiers import Dot
+
+
+class TestCommandConstruction:
+    def test_write_command_touches_all_keys(self):
+        command = Command.write(Dot(0, 1), ["a", "b"])
+        assert command.keys == {"a", "b"}
+        assert command.has_write()
+        assert not command.is_read_only()
+
+    def test_read_command_is_read_only(self):
+        command = Command.read(Dot(0, 1), ["a"])
+        assert command.is_read_only()
+        assert not command.has_write()
+
+    def test_rejects_empty_key_set(self):
+        with pytest.raises(ValueError):
+            Command(dot=Dot(0, 1), ops=())
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            Command.write(Dot(0, 1), ["a"], payload_size=-1)
+
+    def test_payload_size_defaults_to_100_bytes(self):
+        assert Command.write(Dot(0, 1), ["a"]).payload_size == 100
+
+
+class TestConflicts:
+    def test_commands_sharing_a_key_conflict(self):
+        first = Command.write(Dot(0, 1), ["x", "y"])
+        second = Command.write(Dot(1, 1), ["y", "z"])
+        assert first.conflicts_with(second)
+        assert second.conflicts_with(first)
+
+    def test_disjoint_commands_do_not_conflict(self):
+        first = Command.write(Dot(0, 1), ["x"])
+        second = Command.write(Dot(1, 1), ["y"])
+        assert not first.conflicts_with(second)
+
+    def test_two_reads_do_not_interfere(self):
+        first = Command.read(Dot(0, 1), ["x"])
+        second = Command.read(Dot(1, 1), ["x"])
+        assert first.conflicts_with(second)
+        assert not first.interferes_with(second)
+
+    def test_read_and_write_interfere(self):
+        read = Command.read(Dot(0, 1), ["x"])
+        write = Command.write(Dot(1, 1), ["x"])
+        assert read.interferes_with(write)
+        assert write.interferes_with(read)
+
+    def test_interference_requires_shared_key(self):
+        read = Command.read(Dot(0, 1), ["x"])
+        write = Command.write(Dot(1, 1), ["y"])
+        assert not read.interferes_with(write)
+
+
+class TestPartitioner:
+    def test_single_partition_maps_everything_to_zero(self):
+        partitioner = Partitioner(1)
+        assert partitioner.partition_of("anything") == 0
+
+    def test_explicit_mapping_wins(self):
+        partitioner = Partitioner(4, explicit={"a": 3})
+        assert partitioner.partition_of("a") == 3
+
+    def test_hashing_is_stable(self):
+        partitioner = Partitioner(8)
+        assert partitioner.partition_of("key-42") == partitioner.partition_of("key-42")
+
+    def test_partitions_within_range(self):
+        partitioner = Partitioner(5)
+        for index in range(200):
+            assert 0 <= partitioner.partition_of(f"key-{index}") < 5
+
+    def test_rejects_invalid_explicit_mapping(self):
+        with pytest.raises(ValueError):
+            Partitioner(2, explicit={"a": 7})
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            Partitioner(0)
+
+    def test_assign_pins_a_key(self):
+        partitioner = Partitioner(3)
+        partitioner.assign("hot", 2)
+        assert partitioner.partition_of("hot") == 2
+
+    def test_command_partitions(self):
+        partitioner = Partitioner(2, explicit={"a": 0, "b": 1})
+        command = Command.write(Dot(0, 1), ["a", "b"])
+        assert command.partitions(partitioner) == {0, 1}
+
+    @given(st.text(min_size=1, max_size=20), st.integers(min_value=1, max_value=16))
+    def test_every_key_lands_in_exactly_one_partition(self, key, partitions):
+        partitioner = Partitioner(partitions)
+        partition = partitioner.partition_of(key)
+        assert 0 <= partition < partitions
+        assert partitioner.partition_of(key) == partition
+
+
+class TestKeyGenerator:
+    def test_hot_key_when_draw_below_conflict_rate(self):
+        generator = KeyGenerator(client_id=1, conflict_rate=0.5)
+        assert generator.next_key(0.1) == "key-0"
+
+    def test_private_key_when_draw_above_conflict_rate(self):
+        generator = KeyGenerator(client_id=1, conflict_rate=0.5)
+        key = generator.next_key(0.9)
+        assert key.startswith("key-c1-")
+
+    def test_private_keys_are_unique(self):
+        generator = KeyGenerator(client_id=2, conflict_rate=0.0)
+        keys = {generator.next_key(0.5) for _ in range(50)}
+        assert len(keys) == 50
+
+    def test_rejects_invalid_conflict_rate(self):
+        with pytest.raises(ValueError):
+            KeyGenerator(client_id=0, conflict_rate=1.5)
+
+
+class TestKeyOp:
+    def test_write_op(self):
+        op = KeyOp("k", OpKind.WRITE, "v")
+        assert op.is_write() and not op.is_read()
+
+    def test_read_op(self):
+        op = KeyOp("k", OpKind.READ)
+        assert op.is_read() and not op.is_write()

@@ -1,0 +1,131 @@
+"""Tests for the failure detector and leader election oracles (§B.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.failuredetector import (
+    HeartbeatFailureDetector,
+    OmegaLeaderElection,
+    PartitionCoveringDetector,
+    wire_failure_detector,
+)
+from repro.core.process import TempoProcess
+from repro.core.commands import Partitioner
+
+
+class TestHeartbeatFailureDetector:
+    def test_recent_heartbeat_is_not_suspected(self):
+        detector = HeartbeatFailureDetector(timeout_ms=100.0)
+        detector.heartbeat(1, 50.0)
+        assert not detector.is_suspected(1, 100.0)
+
+    def test_silence_beyond_timeout_is_suspected(self):
+        detector = HeartbeatFailureDetector(timeout_ms=100.0)
+        detector.heartbeat(1, 0.0)
+        assert detector.is_suspected(1, 150.0)
+
+    def test_unknown_process_gets_a_grace_period(self):
+        detector = HeartbeatFailureDetector(timeout_ms=100.0)
+        assert not detector.is_suspected(7, 50.0)
+        assert detector.is_suspected(7, 150.0)
+
+    def test_forced_down_overrides_heartbeats(self):
+        detector = HeartbeatFailureDetector(timeout_ms=100.0)
+        detector.heartbeat(1, 10.0)
+        detector.force_down(1)
+        assert detector.is_suspected(1, 20.0)
+        detector.force_up(1)
+        assert not detector.is_suspected(1, 20.0)
+
+    def test_suspicion_clears_after_new_heartbeat(self):
+        detector = HeartbeatFailureDetector(timeout_ms=100.0)
+        detector.heartbeat(1, 0.0)
+        assert detector.is_suspected(1, 200.0)
+        detector.heartbeat(1, 210.0)
+        assert not detector.is_suspected(1, 250.0)
+
+    def test_old_heartbeats_do_not_go_backwards(self):
+        detector = HeartbeatFailureDetector(timeout_ms=100.0)
+        detector.heartbeat(1, 100.0)
+        detector.heartbeat(1, 50.0)
+        assert not detector.is_suspected(1, 190.0)
+
+    def test_alive_filters_suspected_processes(self):
+        detector = HeartbeatFailureDetector(timeout_ms=100.0)
+        detector.heartbeat(0, 190.0)
+        detector.heartbeat(1, 10.0)
+        assert detector.alive([0, 1, 2], 200.0) == [0]
+
+
+class TestOmegaLeaderElection:
+    def test_lowest_unsuspected_member_is_leader(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        omega = OmegaLeaderElection(config, 0)
+        for process in range(3):
+            omega.detector.heartbeat(process, 0.0)
+        assert omega.leader(50.0) == 0
+        omega.detector.force_down(0)
+        assert omega.leader(50.0) == 1
+        assert omega.is_leader(1, 50.0)
+
+    def test_no_leader_when_all_suspected(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        omega = OmegaLeaderElection(config, 0)
+        for process in range(3):
+            omega.detector.force_down(process)
+        assert omega.leader(0.0) is None
+
+    def test_second_partition_members(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        omega = OmegaLeaderElection(config, 1)
+        for process in omega.members():
+            omega.detector.heartbeat(process, 0.0)
+        assert omega.members() == [3, 4, 5]
+        assert omega.leader(10.0) == 3
+
+
+class TestPartitionCoveringDetector:
+    def test_prefers_the_colocated_replica(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        detector = PartitionCoveringDetector(config)
+        for process in range(6):
+            detector.detector.heartbeat(process, 0.0)
+        cover = detector.cover(1, [0, 1], 10.0)
+        assert cover == {0: 1, 1: 4}
+
+    def test_falls_back_to_closest_alive_replica(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        detector = PartitionCoveringDetector(config)
+        for process in range(6):
+            detector.detector.heartbeat(process, 0.0)
+        detector.detector.force_down(4)
+        cover = detector.cover(1, [1], 10.0)
+        assert cover[1] in (3, 5)
+
+    def test_raises_when_a_partition_is_fully_down(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        detector = PartitionCoveringDetector(config)
+        for process in (3, 4, 5):
+            detector.detector.force_down(process)
+        with pytest.raises(RuntimeError):
+            detector.cover(0, [1], 10.0)
+
+
+class TestWiring:
+    def test_wire_failure_detector_updates_alive_views(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        partitioner = Partitioner(1)
+        processes = [
+            TempoProcess(process_id, config, partitioner=partitioner)
+            for process_id in range(3)
+        ]
+        detector = HeartbeatFailureDetector(timeout_ms=100.0)
+        detector.heartbeat(0, 500.0)
+        detector.heartbeat(1, 500.0)
+        detector.heartbeat(2, 100.0)  # stale -> suspected at t=500
+        wire_failure_detector(processes, detector, 500.0)
+        assert processes[0].believes_alive(1)
+        assert not processes[0].believes_alive(2)
+        assert processes[1].leader_of_partition() == 0

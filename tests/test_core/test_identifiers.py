@@ -1,0 +1,74 @@
+"""Unit tests for command identifiers (dots)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.identifiers import Dot, DotGenerator
+
+
+class TestDot:
+    def test_ordering_is_lexicographic(self):
+        assert Dot(0, 1) < Dot(0, 2) < Dot(1, 1) < Dot(1, 5)
+
+    def test_equality_and_hash(self):
+        assert Dot(2, 7) == Dot(2, 7)
+        assert hash(Dot(2, 7)) == hash(Dot(2, 7))
+        assert Dot(2, 7) != Dot(2, 8)
+
+    def test_initial_coordinator_is_source(self):
+        assert Dot(3, 9).initial_coordinator() == 3
+
+    def test_rejects_non_positive_sequence(self):
+        with pytest.raises(ValueError):
+            Dot(0, 0)
+        with pytest.raises(ValueError):
+            Dot(0, -1)
+
+    def test_rejects_negative_source(self):
+        with pytest.raises(ValueError):
+            Dot(-1, 1)
+
+    def test_str_is_compact(self):
+        assert str(Dot(1, 2)) == "1.2"
+
+
+class TestDotGenerator:
+    def test_sequences_start_at_one(self):
+        generator = DotGenerator(source=4)
+        assert generator.next_id() == Dot(4, 1)
+
+    def test_generates_unique_increasing_ids(self):
+        generator = DotGenerator(source=0)
+        dots = [generator.next_id() for _ in range(100)]
+        assert len(set(dots)) == 100
+        assert dots == sorted(dots)
+
+    def test_peek_does_not_consume(self):
+        generator = DotGenerator(source=1)
+        assert generator.peek() == Dot(1, 1)
+        assert generator.peek() == Dot(1, 1)
+        assert generator.next_id() == Dot(1, 1)
+        assert generator.peek() == Dot(1, 2)
+
+    def test_generated_counts_issued_ids(self):
+        generator = DotGenerator(source=2)
+        assert generator.generated() == 0
+        for _ in range(5):
+            generator.next_id()
+        assert generator.generated() == 5
+
+    def test_iteration_yields_fresh_ids(self):
+        generator = DotGenerator(source=0)
+        iterator = iter(generator)
+        first, second = next(iterator), next(iterator)
+        assert first != second
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=1, max_value=200))
+    def test_generators_from_different_sources_never_collide(self, source, count):
+        left = DotGenerator(source=source)
+        right = DotGenerator(source=source + 1)
+        left_dots = {left.next_id() for _ in range(count)}
+        right_dots = {right.next_id() for _ in range(count)}
+        assert not left_dots & right_dots

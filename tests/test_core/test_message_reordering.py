@@ -1,0 +1,173 @@
+"""Regression tests for out-of-order and duplicate message delivery.
+
+The simulator delivers messages with heterogeneous latencies, so handlers
+must tolerate commits arriving before payloads, duplicated commits,
+promises referring to unknown commands, and stale recovery traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.commands import Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.messages import (
+    MCommit,
+    MCommitRequest,
+    MPayload,
+    MPromises,
+    MPropose,
+    MStable,
+)
+from repro.core.phases import Phase
+from repro.core.process import TempoProcess
+from repro.core.promises import Promise
+from repro.core.identifiers import Dot
+from repro.simulator.inline import InlineNetwork
+
+
+def build(r=3):
+    config = ProtocolConfig(num_processes=r, faults=1)
+    partitioner = Partitioner(1)
+    processes = [
+        TempoProcess(process_id, config, partitioner=partitioner)
+        for process_id in range(r)
+    ]
+    return processes, InlineNetwork(processes)
+
+
+class TestOutOfOrderDelivery:
+    def test_commit_before_payload_is_buffered_until_the_payload_arrives(self):
+        processes, _ = build()
+        target = processes[2]
+        coordinator = processes[0]
+        command = coordinator.new_command(["x"])
+        quorums = {0: tuple(coordinator.quorum_system.fast_quorum(0, 0))}
+        # Commit arrives first (e.g. reordered by the network).
+        target.deliver(0, MCommit(command.dot, timestamp=7, partition=0), 0.0)
+        assert target.committed_timestamp(command.dot) is None
+        # Payload arrives later: the buffered commit completes immediately.
+        target.deliver(0, MPayload(command.dot, command, quorums), 0.0)
+        assert target.committed_timestamp(command.dot) == 7
+
+    def test_duplicate_commit_does_not_change_the_timestamp(self):
+        processes, network = build()
+        command = processes[0].new_command(["x"])
+        processes[0].submit(command, 0.0)
+        network.settle()
+        first = processes[1].committed_timestamp(command.dot)
+        processes[1].deliver(0, MCommit(command.dot, timestamp=99, partition=0), 0.0)
+        assert processes[1].committed_timestamp(command.dot) == first
+
+    def test_stable_before_commit_is_remembered(self):
+        processes, _ = build()
+        target = processes[1]
+        coordinator = processes[0]
+        command = coordinator.new_command(["x"])
+        quorums = {0: tuple(coordinator.quorum_system.fast_quorum(0, 0))}
+        target.deliver(2, MStable(command.dot, partition=0), 0.0)
+        assert command.dot not in target.executed_dots()
+        # Later payload + commit + local stability complete the execution.
+        target.deliver(0, MPayload(command.dot, command, quorums), 0.0)
+        target.deliver(0, MCommit(command.dot, timestamp=1, partition=0,
+                                  attached=frozenset({Promise(0, 1), Promise(2, 1)})), 0.0)
+        target.stability_check(0.0)
+        assert command.dot in target.executed_dots()
+
+    def test_propose_after_recovery_is_rejected(self):
+        processes, _ = build()
+        target = processes[1]
+        coordinator = processes[0]
+        command = coordinator.new_command(["x"])
+        quorums = {0: tuple(coordinator.quorum_system.fast_quorum(0, 0))}
+        target.deliver(0, MPayload(command.dot, command, quorums), 0.0)
+        from repro.core.messages import MRec
+
+        target.deliver(2, MRec(command.dot, 10), 0.0)
+        assert target.phase_of(command.dot) is Phase.RECOVER_R
+        clock_before = target.clock.value
+        target.deliver(0, MPropose(command.dot, command, quorums, 1), 0.0)
+        # The MPropose precondition (phase = start) fails: no new proposal.
+        assert target.clock.value == clock_before
+        assert target.phase_of(command.dot) is Phase.RECOVER_R
+
+
+class TestUnknownCommands:
+    def test_attached_promises_for_unknown_commands_trigger_a_commit_request(self):
+        processes, _ = build()
+        target = processes[1]
+        ghost = Dot(0, 42)
+        message = MPromises(
+            Dot(2, 1),
+            detached=frozenset(),
+            attached={ghost: frozenset({Promise(2, 5)})},
+        )
+        target.deliver(2, message, 0.0)
+        requests = [
+            envelope
+            for envelope in target.drain_outbox()
+            if isinstance(envelope.message, MCommitRequest)
+        ]
+        assert requests and requests[0].message.dot == ghost
+
+    def test_commit_request_for_unknown_command_is_ignored(self):
+        processes, _ = build()
+        target = processes[1]
+        target.deliver(2, MCommitRequest(Dot(0, 99)), 0.0)
+        assert target.drain_outbox() == []
+
+    def test_commit_request_is_sent_only_once_per_identifier(self):
+        processes, _ = build()
+        target = processes[1]
+        ghost = Dot(0, 43)
+        message = MPromises(
+            Dot(2, 1), attached={ghost: frozenset({Promise(2, 6)})}
+        )
+        target.deliver(2, message, 0.0)
+        target.drain_outbox()
+        target.deliver(2, message, 0.0)
+        repeats = [
+            envelope
+            for envelope in target.drain_outbox()
+            if isinstance(envelope.message, MCommitRequest)
+        ]
+        assert repeats == []
+
+    def test_detached_promises_from_unknown_processes_are_harmless(self):
+        processes, _ = build()
+        target = processes[0]
+        message = MPromises(
+            Dot(2, 1), detached=frozenset({Promise(2, 1), Promise(2, 2)})
+        )
+        target.deliver(2, message, 0.0)
+        assert target.promises.highest_contiguous_promise(2) == 2
+
+
+class TestAckBroadcastEquivalence:
+    def test_same_timestamps_with_and_without_the_optimisation(self):
+        """The ack-broadcast optimisation must not change decisions."""
+        def run(ack_broadcast):
+            config = ProtocolConfig(num_processes=5, faults=2)
+            partitioner = Partitioner(1)
+            processes = [
+                TempoProcess(
+                    process_id, config, partitioner=partitioner,
+                    ack_broadcast=ack_broadcast,
+                )
+                for process_id in range(5)
+            ]
+            network = InlineNetwork(processes)
+            commands = []
+            for index in range(8):
+                process = processes[index % 5]
+                command = process.new_command(["hot"])
+                process.submit(command, 0.0)
+                commands.append(command)
+                network.step(0.0)
+            network.settle(rounds=25)
+            return {
+                command.dot: processes[0].committed_timestamp(command.dot)
+                for command in commands
+            }
+
+        with_opt = run(True)
+        without_opt = run(False)
+        assert with_opt == without_opt

@@ -1,0 +1,78 @@
+"""Unit tests for command phases and their transitions (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phases import InvalidPhaseTransition, Phase, transition
+
+
+class TestPhaseSets:
+    def test_pending_phases(self):
+        pending = {phase for phase in Phase if phase.is_pending()}
+        assert pending == {
+            Phase.PAYLOAD,
+            Phase.PROPOSE,
+            Phase.RECOVER_R,
+            Phase.RECOVER_P,
+        }
+
+    def test_start_commit_execute_are_not_pending(self):
+        for phase in (Phase.START, Phase.COMMIT, Phase.EXECUTE):
+            assert not phase.is_pending()
+
+    def test_only_execute_is_terminal(self):
+        assert Phase.EXECUTE.is_terminal()
+        assert not Phase.COMMIT.is_terminal()
+
+
+class TestTransitions:
+    @pytest.mark.parametrize(
+        "current,new",
+        [
+            (Phase.START, Phase.PAYLOAD),
+            (Phase.START, Phase.PROPOSE),
+            (Phase.START, Phase.COMMIT),
+            (Phase.PAYLOAD, Phase.RECOVER_R),
+            (Phase.PROPOSE, Phase.RECOVER_P),
+            (Phase.PAYLOAD, Phase.COMMIT),
+            (Phase.PROPOSE, Phase.COMMIT),
+            (Phase.RECOVER_R, Phase.COMMIT),
+            (Phase.RECOVER_P, Phase.COMMIT),
+            (Phase.COMMIT, Phase.EXECUTE),
+        ],
+    )
+    def test_allowed_transitions(self, current, new):
+        assert transition(current, new) is new
+
+    @pytest.mark.parametrize(
+        "current,new",
+        [
+            (Phase.EXECUTE, Phase.COMMIT),
+            (Phase.COMMIT, Phase.PROPOSE),
+            (Phase.COMMIT, Phase.PAYLOAD),
+            (Phase.EXECUTE, Phase.START),
+            (Phase.PAYLOAD, Phase.PROPOSE),
+            (Phase.PROPOSE, Phase.PAYLOAD),
+            (Phase.PAYLOAD, Phase.EXECUTE),
+        ],
+    )
+    def test_forbidden_transitions_raise(self, current, new):
+        with pytest.raises(InvalidPhaseTransition):
+            transition(current, new)
+
+    def test_self_transition_is_allowed(self):
+        assert transition(Phase.COMMIT, Phase.COMMIT) is Phase.COMMIT
+
+    def test_exception_carries_phases(self):
+        try:
+            transition(Phase.EXECUTE, Phase.COMMIT)
+        except InvalidPhaseTransition as exc:
+            assert exc.current is Phase.EXECUTE
+            assert exc.new is Phase.COMMIT
+        else:  # pragma: no cover - defensive
+            pytest.fail("expected InvalidPhaseTransition")
+
+    def test_command_cannot_be_executed_before_commit(self):
+        for phase in (Phase.START, Phase.PAYLOAD, Phase.PROPOSE):
+            assert not phase.can_transition_to(Phase.EXECUTE)

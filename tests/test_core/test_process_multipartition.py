@@ -1,0 +1,144 @@
+"""Tests of the multi-partition protocol (Algorithm 3): max-of-commits,
+MStable exchange, MBump optimisation."""
+
+from __future__ import annotations
+
+from repro.core.commands import Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.process import TempoProcess
+from repro.kvstore.store import KeyValueStore
+from repro.simulator.inline import RecordingNetwork
+
+
+class PrefixPartitioner(Partitioner):
+    """Keys ``pN-...`` map to partition N."""
+
+    def __init__(self, partitions: int) -> None:
+        super().__init__(num_partitions=partitions)
+
+    def partition_of(self, key: str) -> int:
+        if key.startswith("p") and "-" in key:
+            return int(key[1:key.index("-")])
+        return 0
+
+
+def build_cluster(partitions=2, r=3, f=1):
+    config = ProtocolConfig(num_processes=r, faults=f, num_partitions=partitions)
+    partitioner = PrefixPartitioner(partitions)
+    stores = {}
+    processes = []
+    for process_id in range(config.total_processes()):
+        store = KeyValueStore(config.partition_of_process(process_id))
+        stores[process_id] = store
+        processes.append(
+            TempoProcess(process_id, config, partitioner=partitioner, apply_fn=store.apply)
+        )
+    return config, processes, stores, RecordingNetwork(processes)
+
+
+class TestMultiPartitionCommit:
+    def test_final_timestamp_is_max_over_partitions(self):
+        config, processes, _, network = build_cluster()
+        # Skew the clocks of partition 1 so its proposal dominates.
+        for process in processes:
+            if process.partition == 1:
+                process.clock.value = 50
+        command = processes[0].new_command(["p0-a", "p1-b"])
+        processes[0].submit(command, 0.0)
+        network.settle(rounds=20)
+        final = processes[0].committed_timestamp(command.dot)
+        assert final is not None and final >= 51
+
+    def test_all_partition_replicas_agree_on_final_timestamp(self):
+        config, processes, _, network = build_cluster()
+        command = processes[0].new_command(["p0-a", "p1-b"])
+        processes[0].submit(command, 0.0)
+        network.settle(rounds=20)
+        timestamps = {
+            process.committed_timestamp(command.dot)
+            for process in processes
+            if process.committed_timestamp(command.dot) is not None
+        }
+        assert len(timestamps) == 1
+
+    def test_mbump_messages_are_sent_for_multi_partition_commands(self):
+        config, processes, _, network = build_cluster()
+        command = processes[0].new_command(["p0-a", "p1-b"])
+        processes[0].submit(command, 0.0)
+        network.settle(rounds=20)
+        kinds = {kind for _, _, kind in network.log}
+        assert "MBump" in kinds
+        assert "MStable" in kinds
+
+    def test_single_partition_commands_do_not_send_mbump(self):
+        config, processes, _, network = build_cluster()
+        command = processes[0].new_command(["p0-a"])
+        processes[0].submit(command, 0.0)
+        network.settle(rounds=20)
+        kinds = {kind for _, _, kind in network.log}
+        assert "MBump" not in kinds
+
+
+class TestMultiPartitionExecution:
+    def test_execution_happens_at_every_accessed_partition_only(self):
+        config, processes, _, network = build_cluster(partitions=3)
+        command = processes[0].new_command(["p0-a", "p2-b"])
+        processes[0].submit(command, 0.0)
+        network.settle(rounds=25)
+        executed_partitions = {
+            process.partition
+            for process in processes
+            if command.dot in process.executed_dots()
+        }
+        assert executed_partitions == {0, 2}
+
+    def test_cross_partition_ordering_is_consistent(self):
+        """Two commands accessing the same two partitions execute in the
+        same relative order at both partitions (the Ordering property)."""
+        config, processes, _, network = build_cluster()
+        first = processes[0].new_command(["p0-x", "p1-x"])
+        second = processes[4].new_command(["p0-x", "p1-x"])
+        processes[0].submit(first, 0.0)
+        processes[4].submit(second, 0.0)
+        network.settle(rounds=25)
+        orders = set()
+        for process in processes:
+            executed = [
+                dot
+                for dot in process.executed_dots()
+                if dot in (first.dot, second.dot)
+            ]
+            if len(executed) == 2:
+                orders.add(tuple(executed))
+        assert len(orders) == 1
+
+    def test_multi_partition_command_blocks_until_remote_partition_is_stable(self):
+        config, processes, _, network = build_cluster()
+        command = processes[0].new_command(["p0-a", "p1-b"])
+        processes[0].submit(command, 0.0)
+        # Only deliver a couple of rounds: commit may be reached, but the
+        # MStable exchange needs the stability detection of both partitions.
+        network.step(0.0)
+        network.step(0.0)
+        assert command.dot not in processes[0].executed_dots()
+        network.settle(rounds=25)
+        assert command.dot in processes[0].executed_dots()
+
+    def test_mixed_single_and_multi_partition_commands_all_execute(self):
+        config, processes, stores, network = build_cluster()
+        commands = []
+        for index in range(8):
+            if index % 3 == 0:
+                submitter = processes[0]
+                command = submitter.new_command(["p0-x", "p1-y"])
+            elif index % 3 == 1:
+                submitter = processes[1]
+                command = submitter.new_command(["p0-x"])
+            else:
+                submitter = processes[4]
+                command = submitter.new_command(["p1-y"])
+            submitter.submit(command, 0.0)
+            commands.append((submitter, command))
+        network.settle(rounds=30)
+        for submitter, command in commands:
+            assert command.dot in submitter.executed_dots()

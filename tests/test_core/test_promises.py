@@ -1,0 +1,159 @@
+"""Unit and property tests for promises and the promise set."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.identifiers import Dot
+from repro.core.promises import Promise, PromiseSet, PromiseTracker
+
+
+class TestPromise:
+    def test_rejects_zero_timestamp(self):
+        with pytest.raises(ValueError):
+            Promise(0, 0)
+
+    def test_rejects_negative_process(self):
+        with pytest.raises(ValueError):
+            Promise(-1, 1)
+
+    def test_ordering(self):
+        assert Promise(0, 1) < Promise(0, 2) < Promise(1, 1)
+
+
+class TestPromiseTracker:
+    def test_detached_promises_accumulate(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([1, 2, 3])
+        assert tracker.detached() == {Promise(0, 1), Promise(0, 2), Promise(0, 3)}
+
+    def test_attached_promises_are_per_command(self):
+        tracker = PromiseTracker(1)
+        tracker.add_attached(Dot(0, 1), 5)
+        tracker.add_attached(Dot(0, 2), 6)
+        assert tracker.attached_for(Dot(0, 1)) == {Promise(1, 5)}
+        assert tracker.attached_for(Dot(0, 2)) == {Promise(1, 6)}
+
+    def test_snapshot_drains_pending_promises(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([1])
+        tracker.add_attached(Dot(0, 1), 2)
+        detached, attached = tracker.snapshot(drain=True)
+        assert detached == {Promise(0, 1)}
+        assert attached == {Dot(0, 1): frozenset({Promise(0, 2)})}
+        # Second snapshot is empty: each promise is sent only once.
+        detached, attached = tracker.snapshot(drain=True)
+        assert not detached and not attached
+
+    def test_snapshot_without_drain_returns_everything(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([1, 2])
+        tracker.snapshot(drain=True)
+        detached, _ = tracker.snapshot(drain=False)
+        assert detached == {Promise(0, 1), Promise(0, 2)}
+
+    def test_has_pending(self):
+        tracker = PromiseTracker(0)
+        assert not tracker.has_pending()
+        tracker.add_detached([4])
+        assert tracker.has_pending()
+        tracker.snapshot(drain=True)
+        assert not tracker.has_pending()
+
+    def test_all_issued_combines_attached_and_detached(self):
+        tracker = PromiseTracker(2)
+        tracker.add_detached([1])
+        tracker.add_attached(Dot(0, 1), 2)
+        assert tracker.all_issued() == {Promise(2, 1), Promise(2, 2)}
+
+    def test_duplicate_detached_promise_not_requeued(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([1])
+        tracker.snapshot(drain=True)
+        tracker.add_detached([1])
+        detached, _ = tracker.snapshot(drain=True)
+        assert detached == frozenset()
+
+
+class TestPromiseSet:
+    def test_contiguous_frontier(self):
+        promises = PromiseSet()
+        promises.add_all([Promise(0, 1), Promise(0, 2), Promise(0, 4)])
+        assert promises.highest_contiguous_promise(0) == 2
+        promises.add(Promise(0, 3))
+        assert promises.highest_contiguous_promise(0) == 4
+
+    def test_unknown_process_has_zero_frontier(self):
+        assert PromiseSet().highest_contiguous_promise(7) == 0
+
+    def test_membership(self):
+        promises = PromiseSet()
+        promises.add(Promise(1, 1))
+        promises.add(Promise(1, 3))
+        assert Promise(1, 1) in promises
+        assert Promise(1, 3) in promises
+        assert Promise(1, 2) not in promises
+
+    def test_duplicates_do_not_grow_the_set(self):
+        promises = PromiseSet()
+        promises.add(Promise(0, 1))
+        promises.add(Promise(0, 1))
+        assert len(promises) == 1
+
+    def test_stable_timestamp_requires_majority(self):
+        promises = PromiseSet()
+        # Only process 0 has promises: nothing is stable with r = 3.
+        promises.add_all([Promise(0, 1), Promise(0, 2)])
+        assert promises.stable_timestamp([0, 1, 2]) == 0
+        # A second process (majority of 3) brings stability up to 1.
+        promises.add(Promise(1, 1))
+        assert promises.stable_timestamp([0, 1, 2]) == 1
+
+    def test_stable_timestamp_is_majority_minimum(self):
+        promises = PromiseSet()
+        for timestamp in range(1, 6):
+            promises.add(Promise(0, timestamp))
+        for timestamp in range(1, 4):
+            promises.add(Promise(1, timestamp))
+        promises.add(Promise(2, 1))
+        # Frontiers are [5, 3, 1]; the majority value (index 1) is 3.
+        assert promises.stable_timestamp([0, 1, 2]) == 3
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(1, 40)),
+            max_size=120,
+        )
+    )
+    def test_frontier_matches_naive_computation(self, pairs):
+        promises = PromiseSet()
+        naive = {}
+        for process, timestamp in pairs:
+            promises.add(Promise(process, timestamp))
+            naive.setdefault(process, set()).add(timestamp)
+        for process in range(4):
+            known = naive.get(process, set())
+            expected = 0
+            while expected + 1 in known:
+                expected += 1
+            assert promises.highest_contiguous_promise(process) == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(1, 30)),
+            max_size=150,
+        )
+    )
+    def test_stable_timestamp_never_exceeds_majority_frontier(self, pairs):
+        promises = PromiseSet()
+        for process, timestamp in pairs:
+            promises.add(Promise(process, timestamp))
+        processes = list(range(5))
+        stable = promises.stable_timestamp(processes)
+        above = sum(
+            1
+            for process in processes
+            if promises.highest_contiguous_promise(process) >= stable
+        )
+        assert above >= len(processes) // 2 + 1 or stable == 0

@@ -1,0 +1,98 @@
+"""Unit tests for the quorum system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.quorums import QuorumSystem
+
+
+def latency_table(num_processes: int, sites_latency):
+    """Build a symmetric process-level latency table from per-rank rows."""
+    table = {}
+    for a in range(num_processes):
+        table[a] = {}
+        for b in range(num_processes):
+            table[a][b] = sites_latency[a][b]
+    return table
+
+
+class TestFastQuorums:
+    def test_includes_coordinator_first(self):
+        config = ProtocolConfig(num_processes=5, faults=1)
+        quorums = QuorumSystem(config)
+        quorum = quorums.fast_quorum(2, 0)
+        assert quorum[0] == 2
+        assert len(quorum) == config.fast_quorum_size
+
+    def test_members_belong_to_partition(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        quorums = QuorumSystem(config)
+        quorum = quorums.fast_quorum(4, 1)
+        assert set(quorum) <= set(config.processes_of_partition(1))
+
+    def test_latency_aware_choice_prefers_closest(self):
+        config = ProtocolConfig(num_processes=5, faults=1)
+        # Process 0 is 10ms from 4, 50ms from 1, 100ms from the rest.
+        latencies = {
+            a: {b: 100.0 for b in range(5)} for a in range(5)
+        }
+        latencies[0][4] = 10.0
+        latencies[0][1] = 50.0
+        quorums = QuorumSystem(config, latencies=latencies)
+        assert quorums.fast_quorum(0, 0) == [0, 4, 1]
+
+    def test_coordinator_must_replicate_partition(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        quorums = QuorumSystem(config)
+        with pytest.raises(ValueError):
+            quorums.fast_quorum(0, 1)
+
+    def test_is_valid_fast_quorum(self):
+        config = ProtocolConfig(num_processes=5, faults=2)
+        quorums = QuorumSystem(config)
+        quorum = quorums.fast_quorum(1, 0)
+        assert quorums.is_valid_fast_quorum(quorum, 0)
+        assert not quorums.is_valid_fast_quorum(quorum[:-1], 0)
+        assert not quorums.is_valid_fast_quorum(quorum + [quorum[0]], 0)
+
+
+class TestSlowQuorums:
+    def test_size_is_f_plus_one(self):
+        config = ProtocolConfig(num_processes=5, faults=2)
+        quorums = QuorumSystem(config)
+        assert len(quorums.slow_quorum(0, 0)) == 3
+
+    def test_includes_coordinator(self):
+        config = ProtocolConfig(num_processes=5, faults=1)
+        quorums = QuorumSystem(config)
+        assert quorums.slow_quorum(3, 0)[0] == 3
+
+
+class TestCoordinators:
+    def test_coordinator_is_submitter_when_it_replicates_the_partition(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        quorums = QuorumSystem(config)
+        assert quorums.coordinator_for(4, 1) == 4
+
+    def test_coordinator_is_colocated_replica_for_other_partitions(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        quorums = QuorumSystem(config)
+        # Process 1 (rank 1 of partition 0) -> rank-1 replica of partition 1.
+        assert quorums.coordinator_for(1, 1) == 4
+
+    def test_coordinators_for_multiple_partitions(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=3)
+        quorums = QuorumSystem(config)
+        coordinators = quorums.coordinators_for(0, [0, 1, 2])
+        assert coordinators == {0: 0, 1: 3, 2: 6}
+
+    def test_fast_quorums_mapping_covers_all_partitions(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        quorums = QuorumSystem(config)
+        mapping = quorums.fast_quorums(0, [0, 1])
+        assert set(mapping) == {0, 1}
+        for partition, quorum in mapping.items():
+            assert set(quorum) <= set(config.processes_of_partition(partition))
+            assert len(quorum) == config.fast_quorum_size

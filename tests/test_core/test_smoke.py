@@ -1,0 +1,73 @@
+"""End-to-end smoke tests of the Tempo protocol on an inline network."""
+
+from __future__ import annotations
+
+
+class TestSinglePartitionSmoke:
+    def test_single_command_commits_and_executes(self, cluster_3):
+        command = cluster_3.submit(0, ["x"])
+        cluster_3.settle()
+        for process in cluster_3.processes:
+            assert command.dot in process.executed_dots()
+            assert cluster_3.stores[process.process_id].get("x") is not None
+
+    def test_same_timestamp_everywhere(self, cluster_3):
+        command = cluster_3.submit(0, ["x"])
+        cluster_3.settle()
+        timestamps = {
+            process.committed_timestamp(command.dot)
+            for process in cluster_3.processes
+        }
+        assert len(timestamps) == 1
+        assert timestamps.pop() is not None
+
+    def test_conflicting_commands_execute_in_same_order(self, cluster_3):
+        first = cluster_3.submit(0, ["x"])
+        second = cluster_3.submit(1, ["x"])
+        third = cluster_3.submit(2, ["x"])
+        cluster_3.settle()
+        orders = set()
+        for process in cluster_3.processes:
+            executed = [
+                dot
+                for dot in process.executed_dots()
+                if dot in {first.dot, second.dot, third.dot}
+            ]
+            assert len(executed) == 3
+            orders.add(tuple(executed))
+        assert len(orders) == 1
+
+    def test_many_commands_all_execute(self, cluster_5_f1):
+        commands = []
+        for index in range(20):
+            submitter = index % 5
+            commands.append(cluster_5_f1.submit(submitter, [f"k{index % 3}"]))
+        cluster_5_f1.settle(rounds=20)
+        for process in cluster_5_f1.processes:
+            executed = set(process.executed_dots())
+            for command in commands:
+                assert command.dot in executed
+
+
+class TestMultiPartitionSmoke:
+    def test_multi_partition_command_executes_on_both(self, cluster_2x3):
+        process = cluster_2x3.process(0)
+        command = process.new_command(["p0-a", "p1-b"])
+        process.submit(command, 0.0)
+        cluster_2x3.settle(rounds=20)
+        executed_partitions = set()
+        for proc in cluster_2x3.processes:
+            if command.dot in proc.executed_dots():
+                executed_partitions.add(proc.partition)
+        assert executed_partitions == {0, 1}
+
+    def test_single_partition_commands_in_multi_partition_deployment(self, cluster_2x3):
+        process0 = cluster_2x3.process(0)
+        process3 = cluster_2x3.process(3)
+        command0 = process0.new_command(["p0-x"])
+        command1 = process3.new_command(["p1-y"])
+        process0.submit(command0, 0.0)
+        process3.submit(command1, 0.0)
+        cluster_2x3.settle(rounds=20)
+        assert command0.dot in process0.executed_dots()
+        assert command1.dot in process3.executed_dots()

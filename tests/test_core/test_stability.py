@@ -1,0 +1,94 @@
+"""Unit tests for the stability-detection helpers (Theorem 1, Figure 2)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.identifiers import Dot
+from repro.core.promises import Promise, PromiseSet
+from repro.core.stability import (
+    execution_order,
+    highest_contiguous_promises,
+    is_stable,
+    promise_table,
+    stable_timestamp,
+)
+
+
+def _promise_set(entries):
+    promises = PromiseSet()
+    promises.add_all(Promise(process, timestamp) for process, timestamp in entries)
+    return promises
+
+
+class TestStableTimestamp:
+    def test_empty_set_is_never_stable(self):
+        promises = PromiseSet()
+        assert stable_timestamp(promises, [0, 1, 2]) == 0
+        assert not is_stable(promises, [0, 1, 2], 1)
+
+    def test_majority_rule(self):
+        promises = _promise_set([(0, 1), (0, 2), (1, 1), (1, 2), (2, 1)])
+        assert stable_timestamp(promises, [0, 1, 2]) == 2
+        assert is_stable(promises, [0, 1, 2], 2)
+        assert not is_stable(promises, [0, 1, 2], 3)
+
+    def test_five_processes_need_three_frontiers(self):
+        promises = _promise_set(
+            [(0, 1), (0, 2), (0, 3), (1, 1), (1, 2), (2, 1), (3, 1), (3, 2)]
+        )
+        # Frontiers: [3, 2, 1, 2, 0] -> sorted [0, 1, 2, 2, 3] -> index 2 = 2.
+        assert stable_timestamp(promises, [0, 1, 2, 3, 4]) == 2
+
+    def test_highest_contiguous_promises_helper(self):
+        promises = _promise_set([(0, 1), (1, 1), (1, 2)])
+        assert highest_contiguous_promises(promises, [0, 1, 2]) == {0: 1, 1: 2, 2: 0}
+
+
+class TestFigure2:
+    X = (Promise(0, 1), Promise(2, 3))
+    Y = (Promise(1, 1), Promise(1, 2), Promise(1, 3))
+    Z = (Promise(0, 2), Promise(2, 1), Promise(2, 2))
+
+    def test_combinations_match_figure(self):
+        rows = dict(promise_table([self.X, self.Y, self.Z], [0, 1, 2]))
+        assert rows["0"] == 0 and rows["1"] == 0 and rows["2"] == 0
+        assert rows["0+1"] == 1
+        assert rows["0+2"] == 2
+        assert rows["1+2"] == 2
+        assert rows["0+1+2"] == 3
+
+
+class TestExecutionOrder:
+    def test_orders_by_timestamp_then_identifier(self):
+        committed = {Dot(1, 1): 2, Dot(0, 1): 2, Dot(2, 1): 1, Dot(0, 2): 5}
+        assert execution_order(committed, stable_up_to=2) == [
+            Dot(2, 1),
+            Dot(0, 1),
+            Dot(1, 1),
+        ]
+
+    def test_excludes_commands_above_the_stable_timestamp(self):
+        committed = {Dot(0, 1): 3, Dot(1, 1): 4}
+        assert execution_order(committed, stable_up_to=3) == [Dot(0, 1)]
+
+    def test_empty_when_nothing_stable(self):
+        assert execution_order({Dot(0, 1): 5}, stable_up_to=0) == []
+
+    @given(
+        st.dictionaries(
+            st.builds(Dot, st.integers(0, 3), st.integers(1, 50)),
+            st.integers(min_value=1, max_value=30),
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_order_is_total_and_deterministic(self, committed, stable):
+        order = execution_order(committed, stable)
+        # Deterministic: same input, same order.
+        assert order == execution_order(committed, stable)
+        # Sorted by (timestamp, dot).
+        keys = [(committed[dot], dot) for dot in order]
+        assert keys == sorted(keys)
+        # Exactly the commands at or below the stable timestamp are included.
+        assert set(order) == {dot for dot, ts in committed.items() if ts <= stable}

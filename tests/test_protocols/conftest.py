@@ -1,0 +1,80 @@
+"""Shared fixtures for the protocol test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.commands import Partitioner
+from repro.core.config import ProtocolConfig
+from repro.kvstore.store import KeyValueStore
+from repro.protocols.registry import build_process
+from repro.simulator.inline import InlineNetwork
+
+
+class ProtocolCluster:
+    """A full-replication cluster of one protocol on an inline network."""
+
+    def __init__(self, protocol: str, r: int = 5, f: int = 1, **kwargs) -> None:
+        self.protocol = protocol
+        self.config = ProtocolConfig(num_processes=r, faults=f)
+        self.partitioner = Partitioner(1)
+        self.stores: Dict[int, KeyValueStore] = {}
+        self.processes: List = []
+        for process_id in range(r):
+            store = KeyValueStore()
+            self.stores[process_id] = store
+            self.processes.append(
+                build_process(
+                    protocol,
+                    process_id,
+                    self.config,
+                    partitioner=self.partitioner,
+                    apply_fn=store.apply,
+                    **kwargs,
+                )
+            )
+        self.network = InlineNetwork(self.processes)
+
+    def submit(self, process_id: int, keys, read_only: bool = False):
+        process = self.processes[process_id]
+        if read_only and hasattr(process, "new_command"):
+            try:
+                command = process.new_command(keys, read_only=True)
+            except TypeError:
+                command = process.new_command(keys)
+        else:
+            command = process.new_command(keys)
+        process.submit(command, 0.0)
+        return command
+
+    def settle(self, rounds: int = 15) -> None:
+        self.network.settle(rounds=rounds)
+
+    def step(self) -> int:
+        return self.network.step(0.0)
+
+    def executed_everywhere(self, command) -> bool:
+        return all(
+            command.dot in process.executed_dots() for process in self.processes
+        )
+
+    def consistent_order(self, commands) -> bool:
+        dots = {command.dot for command in commands}
+        orders = {
+            tuple(dot for dot in process.executed_dots() if dot in dots)
+            for process in self.processes
+        }
+        return len(orders) == 1
+
+    def stores_converged(self) -> bool:
+        snapshots = {
+            tuple(sorted(store.snapshot().items())) for store in self.stores.values()
+        }
+        return len(snapshots) == 1
+
+
+@pytest.fixture
+def make_cluster():
+    return ProtocolCluster

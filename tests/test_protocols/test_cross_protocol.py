@@ -1,0 +1,113 @@
+"""Cross-protocol integration and property tests.
+
+Every protocol in the registry must satisfy the replicated-state-machine
+basics on the same workloads: all submitted commands execute at every
+replica (after quiescence), conflicting commands execute in the same
+relative order everywhere, and replicated stores converge.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.commands import Partitioner
+from repro.core.config import ProtocolConfig
+from repro.kvstore.store import KeyValueStore
+from repro.protocols.registry import build_process, protocol_names
+from repro.simulator.inline import InlineNetwork
+
+FULL_REPLICATION_PROTOCOLS = ["tempo", "atlas", "epaxos", "caesar", "fpaxos"]
+
+
+def run_schedule(protocol, schedule, r=5, f=1):
+    config = ProtocolConfig(num_processes=r, faults=f)
+    partitioner = Partitioner(1)
+    stores = {}
+    processes = []
+    for process_id in range(r):
+        store = KeyValueStore()
+        stores[process_id] = store
+        processes.append(
+            build_process(
+                protocol, process_id, config, partitioner=partitioner, apply_fn=store.apply
+            )
+        )
+    network = InlineNetwork(processes)
+    commands = []
+    for submitter, hot in schedule:
+        process = processes[submitter % r]
+        key = "hot" if hot else f"k{len(commands)}"
+        command = process.new_command([key])
+        process.submit(command, 0.0)
+        commands.append(command)
+        network.step(0.0)
+    network.settle(rounds=40)
+    return processes, stores, commands
+
+
+class TestAllProtocolsBasics:
+    @pytest.mark.parametrize("protocol", FULL_REPLICATION_PROTOCOLS)
+    def test_all_commands_execute_everywhere(self, protocol):
+        schedule = [(i, i % 2 == 0) for i in range(8)]
+        processes, _, commands = run_schedule(protocol, schedule)
+        for command in commands:
+            for process in processes:
+                assert command.dot in process.executed_dots(), (
+                    f"{protocol}: {command.dot} missing at {process.process_id}"
+                )
+
+    @pytest.mark.parametrize("protocol", FULL_REPLICATION_PROTOCOLS)
+    def test_conflicting_commands_share_one_order(self, protocol):
+        schedule = [(i, True) for i in range(8)]
+        processes, _, commands = run_schedule(protocol, schedule)
+        dots = {command.dot for command in commands}
+        orders = {
+            tuple(dot for dot in process.executed_dots() if dot in dots)
+            for process in processes
+        }
+        assert len(orders) == 1
+
+    @pytest.mark.parametrize("protocol", FULL_REPLICATION_PROTOCOLS)
+    def test_stores_converge(self, protocol):
+        schedule = [(i, True) for i in range(6)] + [(i, False) for i in range(4)]
+        _, stores, _ = run_schedule(protocol, schedule)
+        snapshots = {
+            tuple(sorted(store.snapshot().items())) for store in stores.values()
+        }
+        assert len(snapshots) == 1
+
+    @pytest.mark.parametrize("protocol", FULL_REPLICATION_PROTOCOLS)
+    def test_commands_execute_at_most_once(self, protocol):
+        schedule = [(i, True) for i in range(6)]
+        processes, _, _ = run_schedule(protocol, schedule)
+        for process in processes:
+            executed = process.executed_dots()
+            assert len(executed) == len(set(executed))
+
+
+class TestRandomSchedules:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        protocol=st.sampled_from(["tempo", "atlas", "epaxos", "fpaxos"]),
+        schedule=st.lists(
+            st.tuples(st.integers(0, 4), st.booleans()), min_size=1, max_size=10
+        ),
+    )
+    def test_random_workloads_preserve_ordering_and_liveness(self, protocol, schedule):
+        processes, stores, commands = run_schedule(protocol, schedule)
+        dots = {command.dot for command in commands}
+        for process in processes:
+            assert dots <= set(process.executed_dots())
+        hot_dots = {
+            command.dot for command in commands if "hot" in command.keys
+        }
+        orders = {
+            tuple(dot for dot in process.executed_dots() if dot in hot_dots)
+            for process in processes
+        }
+        assert len(orders) == 1
+        snapshots = {
+            tuple(sorted(store.snapshot().items())) for store in stores.values()
+        }
+        assert len(snapshots) == 1

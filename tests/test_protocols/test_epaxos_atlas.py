@@ -1,0 +1,142 @@
+"""Tests for the EPaxos and Atlas dependency-based protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+
+
+class TestQuorumSizes:
+    def test_epaxos_fast_quorum_is_three_quarters(self, make_cluster):
+        cluster = make_cluster("epaxos", r=5, f=1)
+        assert cluster.processes[0].fast_quorum_size() == 3
+        cluster7 = make_cluster("epaxos", r=7, f=1)
+        assert cluster7.processes[0].fast_quorum_size() == 5
+
+    def test_atlas_fast_quorum_matches_tempo(self, make_cluster):
+        cluster = make_cluster("atlas", r=5, f=2)
+        assert cluster.processes[0].fast_quorum_size() == 4
+        assert cluster.processes[0].slow_quorum_size() == 3
+
+    def test_epaxos_slow_quorum_is_majority(self, make_cluster):
+        cluster = make_cluster("epaxos", r=5, f=1)
+        assert cluster.processes[0].slow_quorum_size() == 3
+
+
+class TestCommitAndExecute:
+    @pytest.mark.parametrize("protocol", ["epaxos", "atlas"])
+    def test_non_conflicting_commands_execute_everywhere(self, make_cluster, protocol):
+        cluster = make_cluster(protocol)
+        commands = [cluster.submit(i, [f"k{i}"]) for i in range(5)]
+        cluster.settle()
+        for command in commands:
+            assert cluster.executed_everywhere(command)
+
+    @pytest.mark.parametrize("protocol", ["epaxos", "atlas"])
+    def test_conflicting_commands_keep_consistent_order(self, make_cluster, protocol):
+        cluster = make_cluster(protocol)
+        commands = [cluster.submit(i % 5, ["hot"]) for i in range(10)]
+        cluster.settle(rounds=25)
+        assert cluster.consistent_order(commands)
+        assert cluster.stores_converged()
+
+    @pytest.mark.parametrize("protocol,f", [("atlas", 1), ("atlas", 2), ("epaxos", 1)])
+    def test_committed_dependencies_agree_across_replicas(self, make_cluster, protocol, f):
+        cluster = make_cluster(protocol, f=f)
+        commands = [cluster.submit(i % 5, ["hot"]) for i in range(6)]
+        cluster.settle(rounds=25)
+        for command in commands:
+            dependency_sets = {
+                cluster.processes[i].committed_dependencies(command.dot)
+                for i in range(5)
+            }
+            assert len(dependency_sets) == 1
+
+    def test_conflicting_commands_have_dependency_edges(self, make_cluster):
+        cluster = make_cluster("atlas")
+        first = cluster.submit(0, ["hot"])
+        cluster.settle()
+        second = cluster.submit(1, ["hot"])
+        cluster.settle()
+        deps_second = cluster.processes[0].committed_dependencies(second.dot)
+        assert first.dot in deps_second
+
+    def test_non_conflicting_commands_have_no_dependencies(self, make_cluster):
+        cluster = make_cluster("atlas")
+        first = cluster.submit(0, ["a"])
+        cluster.settle()
+        second = cluster.submit(1, ["b"])
+        cluster.settle()
+        assert cluster.processes[0].committed_dependencies(second.dot) == frozenset()
+
+
+class TestFastPathConditions:
+    def test_atlas_f1_never_needs_the_slow_path(self, make_cluster):
+        from repro.simulator.inline import RecordingNetwork
+
+        cluster = make_cluster("atlas", f=1)
+        cluster.network = RecordingNetwork(cluster.processes)
+        for index in range(8):
+            cluster.submit(index % 5, ["hot"])
+        cluster.network.settle(rounds=25)
+        kinds = {kind for _, _, kind in cluster.network.log}
+        assert "MDepAccept" not in kinds
+
+    def test_atlas_f2_takes_slow_path_on_unrecoverable_dependencies(self, make_cluster):
+        from repro.simulator.inline import RecordingNetwork
+
+        cluster = make_cluster("atlas", f=2)
+        cluster.network = RecordingNetwork(cluster.processes)
+        for index in range(10):
+            cluster.submit(index % 5, ["hot"])
+        cluster.network.settle(rounds=30)
+        kinds = [kind for _, _, kind in cluster.network.log]
+        assert "MDepAccept" in kinds
+
+    def test_epaxos_takes_slow_path_when_replies_disagree(self, make_cluster):
+        from repro.simulator.inline import RecordingNetwork
+
+        cluster = make_cluster("epaxos", f=1)
+        cluster.network = RecordingNetwork(cluster.processes)
+        for index in range(10):
+            cluster.submit(index % 5, ["hot"])
+        cluster.network.settle(rounds=30)
+        kinds = [kind for _, _, kind in cluster.network.log]
+        assert "MDepAccept" in kinds
+
+    def test_epaxos_fast_path_for_isolated_commands(self, make_cluster):
+        from repro.simulator.inline import RecordingNetwork
+
+        cluster = make_cluster("epaxos", f=1)
+        cluster.network = RecordingNetwork(cluster.processes)
+        cluster.submit(0, ["solo"])
+        cluster.network.settle()
+        kinds = {kind for _, _, kind in cluster.network.log}
+        assert "MDepAccept" not in kinds
+
+
+class TestReadWriteDistinction:
+    def test_reads_do_not_depend_on_reads(self, make_cluster):
+        cluster = make_cluster("atlas")
+        first = cluster.submit(0, ["hot"], read_only=True)
+        cluster.settle()
+        second = cluster.submit(1, ["hot"], read_only=True)
+        cluster.settle()
+        assert first.dot not in cluster.processes[0].committed_dependencies(second.dot)
+
+    def test_writes_depend_on_reads(self, make_cluster):
+        cluster = make_cluster("atlas")
+        read = cluster.submit(0, ["hot"], read_only=True)
+        cluster.settle()
+        write = cluster.submit(1, ["hot"])
+        cluster.settle()
+        assert read.dot in cluster.processes[0].committed_dependencies(write.dot)
+
+    def test_distinction_can_be_disabled(self, make_cluster):
+        cluster = make_cluster("atlas", read_write_aware=False)
+        first = cluster.submit(0, ["hot"], read_only=True)
+        cluster.settle()
+        second = cluster.submit(1, ["hot"], read_only=True)
+        cluster.settle()
+        assert first.dot in cluster.processes[0].committed_dependencies(second.dot)

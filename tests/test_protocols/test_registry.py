@@ -1,0 +1,45 @@
+"""Tests for the protocol registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import ProcessBase
+from repro.core.config import ProtocolConfig
+from repro.protocols.registry import PROTOCOLS, build_process, protocol_names
+
+
+class TestRegistry:
+    def test_all_evaluated_protocols_are_registered(self):
+        assert set(protocol_names()) == {
+            "tempo",
+            "atlas",
+            "epaxos",
+            "caesar",
+            "fpaxos",
+            "janus",
+        }
+
+    def test_build_process_returns_a_process(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        for name in protocol_names():
+            process = build_process(name, 0, config)
+            assert isinstance(process, ProcessBase)
+            assert process.process_id == 0
+
+    def test_unknown_protocol_raises_with_available_names(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        with pytest.raises(KeyError) as excinfo:
+            build_process("raft", 0, config)
+        assert "tempo" in str(excinfo.value)
+
+    def test_extra_kwargs_are_forwarded(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        process = build_process("fpaxos", 1, config, leader_rank=2)
+        assert process.leader_rank == 2
+        tempo = build_process("tempo", 0, config, ack_broadcast=False)
+        assert tempo.ack_broadcast is False
+
+    def test_registry_values_are_classes(self):
+        for factory in PROTOCOLS.values():
+            assert callable(factory)

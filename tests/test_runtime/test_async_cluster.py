@@ -1,0 +1,116 @@
+"""Integration tests for the asyncio runtime."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runtime import AsyncCluster, AsyncClusterOptions
+from repro.runtime.channel import Channel, Router
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRouter:
+    def test_messages_reach_registered_channels(self):
+        async def scenario():
+            router = Router()
+            channel = router.register(1)
+            await router.send(0, 1, "hello")
+            sender, message = await channel.get()
+            return sender, message, router.delivered
+
+        sender, message, delivered = run(scenario())
+        assert (sender, message) == (0, "hello")
+        assert delivered == 1
+
+    def test_unregistered_destination_drops(self):
+        async def scenario():
+            router = Router()
+            await router.send(0, 42, "lost")
+            return router.dropped
+
+        assert run(scenario()) == 1
+
+    def test_crashed_destination_drops(self):
+        async def scenario():
+            router = Router()
+            router.register(1)
+            router.crash(1)
+            await router.send(0, 1, "lost")
+            return router.dropped
+
+        assert run(scenario()) == 1
+
+    def test_channel_empty(self):
+        async def scenario():
+            channel = Channel.create(3)
+            empty_before = channel.empty()
+            await channel.put(0, "x")
+            return empty_before, channel.empty()
+
+        before, after = run(scenario())
+        assert before and not after
+
+
+class TestAsyncCluster:
+    @pytest.mark.parametrize("protocol", ["tempo", "atlas", "fpaxos"])
+    def test_submit_and_await_reply(self, protocol):
+        async def scenario():
+            options = AsyncClusterOptions(protocol=protocol, num_processes=3, faults=1)
+            async with AsyncCluster(options) as cluster:
+                reply = await cluster.submit(["alpha"], process_id=0)
+                await asyncio.sleep(0.1)
+                return reply, cluster.value_of("alpha"), cluster.stores_agree()
+
+        reply, value, agree = run(scenario())
+        assert reply is not None
+        assert value is not None
+        assert agree
+
+    def test_concurrent_conflicting_submissions_converge(self):
+        async def scenario():
+            options = AsyncClusterOptions(protocol="tempo", num_processes=3, faults=1)
+            async with AsyncCluster(options) as cluster:
+                replies = await cluster.submit_many([["hot"]] * 6 + [["cold"]] * 3)
+                await asyncio.sleep(0.2)
+                counts = cluster.executed_counts()
+                return replies, counts, cluster.stores_agree()
+
+        replies, counts, agree = run(scenario())
+        assert len(replies) == 9
+        assert agree
+        assert all(count == 9 for count in counts.values())
+
+    def test_executions_match_across_replicas_with_latency(self):
+        async def scenario():
+            options = AsyncClusterOptions(
+                protocol="tempo", num_processes=3, faults=1, latency_seconds=0.002
+            )
+            async with AsyncCluster(options) as cluster:
+                await cluster.submit_many([["k1"], ["k2"], ["k1"]])
+                await asyncio.sleep(0.3)
+                orders = {
+                    tuple(str(dot) for dot, _ in process.executed)
+                    for process in cluster.processes
+                }
+                return orders
+
+        orders = run(scenario())
+        assert len(orders) == 1
+
+    def test_cluster_can_be_restarted(self):
+        async def scenario():
+            cluster = AsyncCluster(AsyncClusterOptions(num_processes=3))
+            await cluster.start()
+            await cluster.submit(["x"])
+            await cluster.stop()
+            # Starting again after a stop must not raise.
+            await cluster.start()
+            await cluster.stop()
+            return True
+
+        assert run(scenario())

@@ -1,0 +1,70 @@
+"""Unit tests for the simulator event queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulator.events import EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, EventKind.TICK, target=1)
+        queue.push(1.0, EventKind.MESSAGE, target=2)
+        queue.push(3.0, EventKind.CLIENT, target=3)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(2.0, EventKind.MESSAGE, target=1)
+        second = queue.push(2.0, EventKind.MESSAGE, target=2)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_pop_on_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(7.5, EventKind.TICK)
+        assert queue.peek_time() == 7.5
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(1.0, EventKind.TICK)
+        assert queue and len(queue) == 1
+        queue.pop()
+        assert not queue
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.TICK)
+
+    def test_iteration_drains_in_order(self):
+        queue = EventQueue()
+        for time in (4.0, 2.0, 9.0):
+            queue.push(time, EventKind.CUSTOM)
+        assert [event.time for event in queue] == [2.0, 4.0, 9.0]
+        assert len(queue) == 0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=200))
+    def test_always_sorted(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, EventKind.MESSAGE)
+        popped = [queue.pop().time for _ in range(len(times))]
+        assert popped == sorted(times)
+
+    def test_event_payload_and_sender_are_preserved(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.MESSAGE, target=3, payload="hello", sender=7)
+        event = queue.pop()
+        assert event.payload == "hello"
+        assert event.sender == 7
+        assert event.target == 3
+        assert event.kind is EventKind.MESSAGE

@@ -1,0 +1,96 @@
+"""Tests for the dstat-style simulation monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import ExperimentConfig
+from repro.core.commands import Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.process import TempoProcess
+from repro.protocols.fpaxos import FPaxosProcess
+from repro.simulator.inline import InlineNetwork
+from repro.simulator.latency import uniform_latency_matrix
+from repro.simulator.monitor import SimulationMonitor
+from repro.simulator.network import Network
+from repro.simulator.sim import Simulation, SimulationOptions
+
+
+def build_simulation(protocol_cls, r=3):
+    config = ProtocolConfig(num_processes=r, faults=1)
+    partitioner = Partitioner(1)
+    processes = [
+        protocol_cls(process_id, config, partitioner=partitioner)
+        for process_id in range(r)
+    ]
+    matrix = uniform_latency_matrix([f"s{index}" for index in range(r)], 5.0)
+    network = Network(matrix)
+    for process_id in range(r):
+        network.place(process_id, f"s{process_id}")
+    simulation = Simulation(processes, network, SimulationOptions(max_time=3_000.0))
+    return processes, simulation
+
+
+class TestSimulationMonitor:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimulationMonitor(interval_ms=0.0)
+
+    def test_samples_are_collected_periodically(self):
+        processes, simulation = build_simulation(TempoProcess)
+        monitor = SimulationMonitor(interval_ms=50.0).attach(simulation)
+        for index in range(5):
+            command = processes[0].new_command([f"k{index}"])
+            simulation.submit_at(float(index * 10), 0, command)
+        simulation.run(until=1_000.0)
+        series = monitor.series[0]
+        assert len(series.samples) >= 5
+        assert series.total_messages() > 0
+        assert series.total_executed() == 5
+
+    def test_summary_rows_cover_every_process(self):
+        processes, simulation = build_simulation(TempoProcess)
+        monitor = SimulationMonitor(interval_ms=100.0).attach(simulation)
+        command = processes[0].new_command(["x"])
+        simulation.submit_at(0.0, 0, command)
+        simulation.run(until=500.0)
+        rows = monitor.summary_rows()
+        assert [row["process"] for row in rows] == [0, 1, 2]
+        for row in rows:
+            assert row["messages"] >= 0
+
+    def test_fpaxos_leader_is_the_busiest_process(self):
+        processes, simulation = build_simulation(FPaxosProcess)
+        monitor = SimulationMonitor(interval_ms=100.0).attach(simulation)
+        for index in range(12):
+            submitter = processes[index % 3]
+            command = submitter.new_command([f"k{index}"])
+            simulation.submit_at(float(index * 5), submitter.process_id, command)
+        simulation.run(until=2_000.0)
+        assert monitor.busiest_process() == 0
+        assert monitor.imbalance() > 1.2
+
+    def test_tempo_load_is_balanced(self):
+        processes, simulation = build_simulation(TempoProcess)
+        monitor = SimulationMonitor(interval_ms=100.0).attach(simulation)
+        for index in range(12):
+            submitter = processes[index % 3]
+            command = submitter.new_command([f"k{index}"])
+            simulation.submit_at(float(index * 5), submitter.process_id, command)
+        simulation.run(until=2_000.0)
+        assert monitor.imbalance() < 1.3
+
+    def test_observe_works_without_a_simulation(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        partitioner = Partitioner(1)
+        processes = [
+            TempoProcess(process_id, config, partitioner=partitioner)
+            for process_id in range(3)
+        ]
+        network = InlineNetwork(processes)
+        monitor = SimulationMonitor(interval_ms=10.0)
+        command = processes[0].new_command(["x"])
+        processes[0].submit(command, 0.0)
+        network.settle()
+        monitor.observe(processes, now=100.0)
+        assert monitor.series[0].samples[-1].executed == 1

@@ -1,0 +1,233 @@
+"""Tests for the simulated network, the simulation loop and the inline
+runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import ProcessBase
+from repro.core.commands import Command, Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.process import TempoProcess
+from repro.simulator.events import EventKind
+from repro.simulator.inline import InlineNetwork
+from repro.simulator.latency import ec2_latency_matrix, uniform_latency_matrix
+from repro.simulator.network import Network, NetworkOptions
+from repro.simulator.rng import SeededRng
+from repro.simulator.sim import Simulation, SimulationOptions
+
+
+class EchoProcess(ProcessBase):
+    """Minimal process used to test the runtimes: counts deliveries."""
+
+    def __init__(self, process_id, config):
+        super().__init__(process_id, config)
+        self.seen = []
+        self.ticks = 0
+
+    def submit(self, command, now=0.0):
+        self.send([1 - self.process_id], command, now)
+
+    def on_message(self, sender, message, now):
+        self.seen.append((sender, message, now))
+
+    def tick(self, now):
+        self.ticks += 1
+
+
+def make_network(**options):
+    matrix = ec2_latency_matrix(["ireland", "canada"])
+    network = Network(matrix, NetworkOptions(**options), rng=SeededRng(1))
+    network.place(0, "ireland")
+    network.place(1, "canada")
+    return network
+
+
+class TestNetwork:
+    def test_delay_between_sites_is_one_way_latency(self):
+        network = make_network()
+        assert network.delay(0, 1) == 36.0
+
+    def test_local_delay(self):
+        network = make_network()
+        network.place(2, "ireland")
+        assert network.delay(0, 2) == network.options.local_latency_ms
+
+    def test_jitter_adds_bounded_noise(self):
+        network = make_network(jitter_ms=5.0)
+        delays = {network.delay(0, 1) for _ in range(20)}
+        assert all(36.0 <= delay <= 41.0 for delay in delays)
+        assert len(delays) > 1
+
+    def test_crashed_destination_drops_messages(self):
+        network = make_network()
+        network.crash(1)
+        delivered = []
+        result = network.transmit(0, 1, "m", 0.0, lambda *args: delivered.append(args))
+        assert result is None and not delivered
+        assert network.stats.messages_dropped == 1
+
+    def test_transmit_records_stats(self):
+        from repro.core.identifiers import Dot
+        from repro.core.messages import MPayload
+
+        network = make_network()
+        command = Command.write(Dot(0, 1), ["k"], payload_size=500)
+        message = MPayload(command.dot, command, {0: (0, 1)})
+        network.transmit(0, 1, message, 0.0, lambda *args: None)
+        assert network.stats.messages_sent == 1
+        assert network.stats.bytes_sent >= 500
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(ValueError):
+            NetworkOptions(drop_probability=1.5)
+
+    def test_unplaced_endpoint_raises(self):
+        network = make_network()
+        with pytest.raises(KeyError):
+            network.site_of(99)
+
+
+class TestSimulationLoop:
+    def build(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        partitioner = Partitioner(1)
+        processes = [
+            TempoProcess(process_id, config, partitioner=partitioner)
+            for process_id in range(3)
+        ]
+        matrix = uniform_latency_matrix(["a", "b", "c"], one_way_ms=10.0)
+        network = Network(matrix)
+        for process_id, site in zip(range(3), ["a", "b", "c"]):
+            network.place(process_id, site)
+        simulation = Simulation(processes, network, SimulationOptions(tick_interval=5.0, max_time=2_000.0))
+        return processes, simulation
+
+    def test_command_submission_executes_within_simulated_time(self):
+        processes, simulation = self.build()
+        command = processes[0].new_command(["x"])
+        simulation.submit_at(1.0, 0, command)
+        simulation.run()
+        assert command.dot in processes[0].executed_dots()
+        assert simulation.now <= 2_000.0
+
+    def test_latency_is_respected(self):
+        processes, simulation = self.build()
+        command = processes[0].new_command(["x"])
+        simulation.submit_at(0.0, 0, command)
+        simulation.run()
+        # Fast path needs one round trip of 20ms; execution cannot happen
+        # before that.
+        executed_at = simulation.stats.end_time
+        assert executed_at >= 20.0
+
+    def test_crash_event_marks_process_and_network(self):
+        processes, simulation = self.build()
+        simulation.crash_at(1.0, 2)
+        simulation.run(until=10.0)
+        assert not processes[2].alive
+        assert simulation.network.is_crashed(2)
+        assert not processes[0].believes_alive(2)
+
+    def test_custom_callbacks_run(self):
+        processes, simulation = self.build()
+        fired = []
+        simulation.schedule(3.0, lambda now: fired.append(now))
+        simulation.run(until=10.0)
+        assert fired and fired[0] == pytest.approx(3.0)
+
+    def test_external_endpoint_receives_replies(self):
+        processes, simulation = self.build()
+        received = []
+        simulation.network.place(-1, "a")
+        simulation.register_external(-1, lambda sender, message, now: received.append(message))
+        command = Command.write(processes[0].dot_generator.next_id(), ["x"], client_id=0)
+        simulation.submit_at(0.0, 0, command)
+        simulation.run()
+        assert received, "client reply should have been routed to the external endpoint"
+
+    def test_stop_predicate_halts_early(self):
+        processes, simulation = self.build()
+        command = processes[0].new_command(["x"])
+        simulation.submit_at(0.0, 0, command)
+        simulation.set_stop_predicate(lambda sim: sim.stats.events_processed >= 5)
+        stats = simulation.run()
+        assert stats.events_processed == 5
+
+    def test_tick_events_recur(self):
+        processes, simulation = self.build()
+        simulation.run(until=50.0)
+        assert simulation.stats.ticks >= 3 * 9
+
+
+class TestInlineNetwork:
+    def test_undeliverable_messages_are_collected(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        processes = [EchoProcess(process_id, config) for process_id in range(3)]
+        network = InlineNetwork(processes)
+        processes[0].send([5], "nowhere", 0.0)
+        network.step(0.0)
+        assert network.undeliverable and network.undeliverable[0].destination == 5
+
+    def test_run_raises_if_never_quiescent(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+
+        class Chatty(EchoProcess):
+            def on_message(self, sender, message, now):
+                super().on_message(sender, message, now)
+                self.send([1 - self.process_id], message, now)
+
+        processes = [Chatty(process_id, config) for process_id in range(3)]
+        network = InlineNetwork(processes)
+        processes[0].send([1], "ping", 0.0)
+        with pytest.raises(RuntimeError):
+            network.run(max_rounds=10)
+
+    def test_reorder_hook_is_applied(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        processes = [EchoProcess(process_id, config) for process_id in range(3)]
+        network = InlineNetwork(processes)
+        network.set_reorder(lambda envelopes: list(reversed(envelopes)))
+        processes[0].send([1], "first", 0.0)
+        processes[0].send([1], "second", 0.0)
+        network.step(0.0)
+        assert [message for _, message, _ in processes[1].seen] == ["second", "first"]
+
+
+class TestRng:
+    def test_seeded_rng_is_deterministic(self):
+        assert [SeededRng(5).uniform() for _ in range(3)] == [
+            SeededRng(5).uniform() for _ in range(3)
+        ]
+
+    def test_fork_produces_independent_streams(self):
+        rng = SeededRng(1)
+        assert rng.fork(1).uniform() != rng.fork(2).uniform()
+
+    def test_zipf_sampler_prefers_popular_items(self):
+        from repro.simulator.rng import ZipfSampler
+
+        sampler = ZipfSampler(100, theta=0.99, rng=SeededRng(3))
+        draws = [sampler.sample() for _ in range(2000)]
+        head = sum(1 for draw in draws if draw < 10)
+        tail = sum(1 for draw in draws if draw >= 90)
+        assert head > tail
+
+    def test_zipf_theta_zero_is_uniformish(self):
+        from repro.simulator.rng import ZipfSampler
+
+        sampler = ZipfSampler(10, theta=0.0, rng=SeededRng(3))
+        draws = [sampler.sample() for _ in range(5000)]
+        counts = [draws.count(index) for index in range(10)]
+        assert max(counts) < 2.0 * min(counts)
+
+    def test_zipf_sample_distinct(self):
+        from repro.simulator.rng import ZipfSampler
+
+        sampler = ZipfSampler(50, theta=0.5, rng=SeededRng(3))
+        items = sampler.sample_distinct(5)
+        assert len(set(items)) == 5
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).exponential(0.0)

@@ -1,0 +1,168 @@
+"""Tests for the microbenchmark, YCSB+T and batching workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore.sharding import ShardMap
+from repro.simulator.rng import SeededRng
+from repro.workloads.batching import Batcher, BatchingModel
+from repro.workloads.micro import MicroWorkload
+from repro.workloads.ycsbt import YCSB_WORKLOADS, YcsbTWorkload
+from repro.core.commands import Command
+from repro.core.identifiers import Dot
+
+
+class TestMicroWorkload:
+    def test_zero_conflict_rate_never_picks_the_hot_key(self):
+        workload = MicroWorkload(client_id=1, conflict_rate=0.0, rng=SeededRng(1))
+        keys = [key for _ in range(200) for key in workload.next_keys()]
+        assert "key-0" not in keys
+
+    def test_full_conflict_rate_always_picks_the_hot_key(self):
+        workload = MicroWorkload(client_id=1, conflict_rate=1.0, rng=SeededRng(1))
+        for _ in range(50):
+            assert workload.next_keys() == ["key-0"]
+
+    def test_conflict_rate_is_approximately_respected(self):
+        workload = MicroWorkload(client_id=3, conflict_rate=0.1, rng=SeededRng(7))
+        draws = 5000
+        hot = sum(1 for _ in range(draws) if workload.next_keys() == ["key-0"])
+        assert 0.07 <= hot / draws <= 0.13
+
+    def test_private_keys_are_unique_per_client(self):
+        workload = MicroWorkload(client_id=5, conflict_rate=0.0, rng=SeededRng(1))
+        keys = [workload.next_keys()[0] for _ in range(100)]
+        assert len(set(keys)) == 100
+        assert all(key.startswith("key-c5-") for key in keys)
+
+    def test_read_ratio(self):
+        workload = MicroWorkload(client_id=1, read_ratio=1.0, rng=SeededRng(1))
+        assert workload.next_is_read()
+        workload = MicroWorkload(client_id=1, read_ratio=0.0, rng=SeededRng(1))
+        assert not workload.next_is_read()
+
+    def test_multi_key_commands_deduplicate_keys(self):
+        workload = MicroWorkload(
+            client_id=1, conflict_rate=1.0, keys_per_command=3, rng=SeededRng(1)
+        )
+        assert workload.next_keys() == ["key-0"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroWorkload(client_id=0, conflict_rate=2.0)
+        with pytest.raises(ValueError):
+            MicroWorkload(client_id=0, keys_per_command=0)
+
+
+class TestYcsbT:
+    def test_two_distinct_keys_per_transaction(self):
+        workload = YcsbTWorkload(
+            client_id=1, shard_map=ShardMap(2), zipf=0.5, rng=SeededRng(2)
+        )
+        for _ in range(50):
+            keys = workload.next_keys()
+            assert len(keys) == 2 and len(set(keys)) == 2
+
+    def test_workload_letters_map_to_write_ratios(self):
+        assert YCSB_WORKLOADS == {"A": 0.50, "B": 0.05, "C": 0.00}
+        workload = YcsbTWorkload.from_workload_letter(
+            1, ShardMap(2), "B", rng=SeededRng(1)
+        )
+        assert workload.write_ratio == 0.05
+
+    def test_unknown_letter_raises(self):
+        with pytest.raises(KeyError):
+            YcsbTWorkload.from_workload_letter(1, ShardMap(2), "Z")
+
+    def test_read_only_workload_never_writes(self):
+        workload = YcsbTWorkload(
+            client_id=1, shard_map=ShardMap(2), write_ratio=0.0, rng=SeededRng(3)
+        )
+        assert all(workload.next_is_read() for _ in range(100))
+
+    def test_higher_zipf_concentrates_on_popular_keys(self):
+        low = YcsbTWorkload(
+            client_id=1, shard_map=ShardMap(2), zipf=0.1, keys_per_shard=500,
+            rng=SeededRng(4),
+        )
+        high = YcsbTWorkload(
+            client_id=1, shard_map=ShardMap(2), zipf=0.99, keys_per_shard=500,
+            rng=SeededRng(4),
+        )
+
+        def popular_fraction(workload):
+            hits = 0
+            for _ in range(500):
+                for key in workload.next_keys():
+                    if int(key[4:]) < 20:
+                        hits += 1
+            return hits
+
+        assert popular_fraction(high) > popular_fraction(low)
+
+    def test_shards_of_helper(self):
+        shard_map = ShardMap(3)
+        workload = YcsbTWorkload(client_id=1, shard_map=shard_map, rng=SeededRng(1))
+        keys = ["user0", "user1"]
+        assert workload.shards_of(keys) == shard_map.shards_of(keys)
+
+    def test_write_ratio_validation(self):
+        with pytest.raises(ValueError):
+            YcsbTWorkload(client_id=1, shard_map=ShardMap(2), write_ratio=1.5)
+
+
+class TestBatcher:
+    def _command(self, index):
+        return Command.write(Dot(0, index), ["k"])
+
+    def test_flush_by_size(self):
+        batcher = Batcher(max_size=3, max_delay_ms=1000.0)
+        assert batcher.add(self._command(1), 0.0) is None
+        assert batcher.add(self._command(2), 0.0) is None
+        batch = batcher.add(self._command(3), 0.0)
+        assert batch is not None and len(batch) == 3
+
+    def test_flush_by_age(self):
+        batcher = Batcher(max_size=100, max_delay_ms=5.0)
+        batcher.add(self._command(1), 0.0)
+        assert batcher.poll(4.0) is None
+        batch = batcher.poll(5.1)
+        assert batch is not None and len(batch) == 1
+
+    def test_flush_empties_the_buffer(self):
+        batcher = Batcher()
+        batcher.add(self._command(1), 0.0)
+        batcher.flush(0.0)
+        assert batcher.pending() == 0
+        assert batcher.flush(0.0) is None
+
+    def test_average_batch_size(self):
+        batcher = Batcher(max_size=2, max_delay_ms=100.0)
+        batcher.add(self._command(1), 0.0)
+        batcher.add(self._command(2), 0.0)
+        batcher.add(self._command(3), 0.0)
+        batcher.flush(0.0)
+        assert batcher.average_batch_size() == 1.5
+
+    def test_paper_batching_parameters_are_defaults(self):
+        batcher = Batcher()
+        assert batcher.max_size == 105
+        assert batcher.max_delay_ms == 5.0
+
+
+class TestBatchingModel:
+    def test_disabled_model_has_no_amortization(self):
+        assert BatchingModel(False).amortization_factor() == 1.0
+
+    def test_enabled_model_caps_at_expected_batch_size(self):
+        assert BatchingModel(True, expected_batch_size=105).amortization_factor() == 105.0
+
+    def test_low_offered_rate_limits_batch_size(self):
+        model = BatchingModel(True, expected_batch_size=105)
+        # 1000 ops/s -> 5 commands per 5ms window.
+        assert model.effective_batch(1000.0) == pytest.approx(5.0)
+
+    def test_batch_size_never_below_one(self):
+        model = BatchingModel(True)
+        assert model.effective_batch(10.0) == 1.0
