@@ -13,7 +13,8 @@ from every accessed partition, which enforces the real-time order of PSMR.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from heapq import heappop, heappush
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.base import ProcessBase
 from repro.core.clock import LogicalClock
@@ -94,8 +95,40 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._committed: Dict[Dot, int] = {}
         #: Identifiers for which an MCommitRequest was already sent.
         self._commit_requested: Set[Dot] = set()
+        #: Min-heap of ``(timestamp, dot)`` for committed identifiers whose
+        #: MStable has not been sent yet (drained by stability_check).
+        self._commit_heap: List[Tuple[int, Dot]] = []
+        #: Min-heap of ``(timestamp, dot)`` for identifiers whose MStable was
+        #: sent and that await execution in ``(timestamp, dot)`` order.
+        self._stable_heap: List[Tuple[int, Dot]] = []
+        #: Min-heap of ``(first_seen_at, dot)`` gating the recovery scan: the
+        #: full ``_info`` sweep only runs once the oldest watched pending
+        #: command exceeds the recovery timeout.
+        self._pending_watch: List[Tuple[float, Dot]] = []
         self._last_promise_broadcast = float("-inf")
         self._last_stability_check = float("-inf")
+        #: Broadcast target lists (``I_c`` / MStable recipients) cached per
+        #: accessed-partition set; the lists are only ever iterated.
+        self._partition_targets: Dict[FrozenSet[int], List[int]] = {}
+        #: Message-type -> bound handler dispatch table (exact class match;
+        #: protocol messages are never subclassed).  Replaces the isinstance
+        #: chain on the per-message hot path.
+        self._dispatch: Dict[type, Callable[[int, object, float], None]] = {
+            MSubmit: self._on_submit,
+            MPropose: self._on_propose,
+            MProposeAck: self._on_propose_ack,
+            MPayload: self._on_payload,
+            MCommit: self._on_commit,
+            MConsensus: self._on_consensus,
+            MConsensusAck: self._on_consensus_ack,
+            MBump: self._on_bump,
+            MPromises: self._on_promises,
+            MStable: self._on_stable,
+            MRec: self._on_rec,
+            MRecAck: self._on_rec_ack,
+            MRecNAck: self._on_rec_nack,
+            MCommitRequest: self._on_commit_request,
+        }
 
     # ------------------------------------------------------------------ helpers
 
@@ -147,6 +180,15 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         """One nearby process per accessed partition (the set ``I^i_c``)."""
         return self.quorum_system.coordinators_for(self.process_id, partitions)
 
+    def _targets_for(self, partitions: Iterable[int]) -> List[int]:
+        """Sorted deduplicated members of ``I_c``, cached per partition set."""
+        key = frozenset(partitions)
+        targets = self._partition_targets.get(key)
+        if targets is None:
+            targets = sorted(set(self._processes_of(sorted(key))))
+            self._partition_targets[key] = targets
+        return targets
+
     def _absorb_own_issue(
         self, dot: Dot, attached_timestamp: int, detached: Sequence[int]
     ) -> None:
@@ -156,17 +198,24 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         buffered until the command commits (Algorithm 2, line 47 applies to
         local promises too).
         """
-        self.promises.add_all(
-            Promise(self.process_id, timestamp) for timestamp in detached
-        )
+        self._absorb_detached(detached)
         self._buffered_attached.setdefault(dot, set()).add(
             Promise(self.process_id, attached_timestamp)
         )
 
     def _absorb_detached(self, detached: Sequence[int]) -> None:
-        self.promises.add_all(
-            Promise(self.process_id, timestamp) for timestamp in detached
-        )
+        # Clock jumps issue contiguous timestamps: absorb them as one range.
+        if detached:
+            self.promises.add_range(self.process_id, detached[0], detached[-1])
+
+    def _track_detached(self, detached: Sequence[int]) -> None:
+        """Record a clock jump's detached promises in the tracker as a range."""
+        if detached:
+            self.tracker.add_detached_range(detached[0], detached[-1])
+
+    def _watch_pending(self, dot: Dot, first_seen: float) -> None:
+        """Register ``dot`` with the recovery watchdog (see _recovery_tick)."""
+        heappush(self._pending_watch, (first_seen, dot))
 
     # ------------------------------------------------------------------ submit
 
@@ -197,36 +246,10 @@ class TempoProcess(RecoveryMixin, ProcessBase):
     # ------------------------------------------------------------------ dispatch
 
     def on_message(self, sender: int, message: object, now: float) -> None:
-        if isinstance(message, MSubmit):
-            self._on_submit(sender, message, now)
-        elif isinstance(message, MPropose):
-            self._on_propose(sender, message, now)
-        elif isinstance(message, MProposeAck):
-            self._on_propose_ack(sender, message, now)
-        elif isinstance(message, MPayload):
-            self._on_payload(sender, message, now)
-        elif isinstance(message, MCommit):
-            self._on_commit(sender, message, now)
-        elif isinstance(message, MConsensus):
-            self._on_consensus(sender, message, now)
-        elif isinstance(message, MConsensusAck):
-            self._on_consensus_ack(sender, message, now)
-        elif isinstance(message, MBump):
-            self._on_bump(sender, message, now)
-        elif isinstance(message, MPromises):
-            self._on_promises(sender, message, now)
-        elif isinstance(message, MStable):
-            self._on_stable(sender, message, now)
-        elif isinstance(message, MRec):
-            self._on_rec(sender, message, now)
-        elif isinstance(message, MRecAck):
-            self._on_rec_ack(sender, message, now)
-        elif isinstance(message, MRecNAck):
-            self._on_rec_nack(sender, message, now)
-        elif isinstance(message, MCommitRequest):
-            self._on_commit_request(sender, message, now)
-        else:
+        handler = self._dispatch.get(message.__class__)
+        if handler is None:
             raise TypeError(f"unexpected message {message!r}")
+        handler(sender, message, now)
 
     # ------------------------------------------------------------------ commit protocol
 
@@ -240,6 +263,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         record = self.info(dot)
         if record.first_seen_at is None:
             record.first_seen_at = now
+            self._watch_pending(dot, now)
         propose = MPropose(dot, command, quorums, timestamp)
         self.send(fast_quorum, propose, now)
         others = [
@@ -257,7 +281,12 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             return
         record.command = message.command
         record.quorums = dict(message.quorums)
-        record.first_seen_at = record.first_seen_at or now
+        # Falsy (not ``is None``) on purpose: a first_seen_at of exactly 0.0
+        # is treated as unset, preserving the original `or now` semantics on
+        # which the recovery-timeout bookkeeping was calibrated.
+        if not record.first_seen_at:
+            record.first_seen_at = now
+            self._watch_pending(message.dot, now)
         record.move_to(Phase.PAYLOAD)
         self._maybe_commit(message.dot, now)
 
@@ -269,11 +298,13 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             return
         record.command = message.command
         record.quorums = dict(message.quorums)
-        record.first_seen_at = record.first_seen_at or now
+        if not record.first_seen_at:
+            record.first_seen_at = now
+            self._watch_pending(dot, now)
         record.move_to(Phase.PROPOSE)
         result = self.clock.proposal(message.timestamp)
         record.timestamp = result.timestamp
-        self.tracker.add_detached(result.detached)
+        self._track_detached(result.detached)
         self.tracker.add_attached(dot, result.timestamp)
         self._absorb_own_issue(dot, result.timestamp, result.detached)
         ack = MProposeAck(
@@ -311,7 +342,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         if record is None or record.phase is not Phase.PROPOSE:
             return
         result = self.clock.bump(message.timestamp)
-        self.tracker.add_detached(result.detached)
+        self._track_detached(result.detached)
         self._absorb_detached(result.detached)
 
     def _on_propose_ack(self, sender: int, message: MProposeAck, now: float) -> None:
@@ -376,8 +407,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             attached=frozenset(record.collected_attached),
             detached=frozenset(record.collected_detached),
         )
-        targets = self._processes_of(sorted(record.quorums))
-        self.send(sorted(set(targets)), commit, now)
+        self.send(self._targets_for(record.quorums), commit, now)
 
     def _on_consensus(self, sender: int, message: MConsensus, now: float) -> None:
         """Accept a Flexible-Paxos phase-2 proposal (line 26)."""
@@ -390,7 +420,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         record.ballot = message.ballot
         record.accepted_ballot = message.ballot
         result = self.clock.bump(message.timestamp)
-        self.tracker.add_detached(result.detached)
+        self._track_detached(result.detached)
         self._absorb_detached(result.detached)
         self.send([sender], MConsensusAck(dot, message.ballot), now)
 
@@ -443,8 +473,9 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         record.committed_at = now
         record.move_to(Phase.COMMIT)
         self._committed[dot] = final
+        heappush(self._commit_heap, (final, dot))
         result = self.clock.bump(final)
-        self.tracker.add_detached(result.detached)
+        self._track_detached(result.detached)
         self._absorb_detached(result.detached)
         # Attached promises for this identifier become usable now (line 47).
         for promise in self._buffered_attached.pop(dot, set()):
@@ -519,19 +550,23 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             self.send(targets, message, now)
 
     def stability_check(self, now: float = 0.0) -> None:
-        """Detect stable timestamps and drive execution (lines 49 & 97)."""
+        """Detect stable timestamps and drive execution (lines 49 & 97).
+
+        Committed-but-unstable identifiers wait in a min-heap ordered by
+        ``(timestamp, id)``; each check pops the prefix at or below the
+        current stable timestamp (the same order the pseudocode obtains by
+        sorting), so a check that finds nothing newly stable is O(1).
+        """
         stable_up_to = self.promises.stable_timestamp(self.partition_peers())
-        ready = sorted(
-            (timestamp, dot)
-            for dot, timestamp in self._committed.items()
-            if timestamp <= stable_up_to
-        )
-        for timestamp, dot in ready:
+        heap = self._commit_heap
+        while heap and heap[0][0] <= stable_up_to:
+            timestamp, dot = heappop(heap)
             record = self._info[dot]
             if record.stable_sent:
                 continue
             record.stable_sent = True
-            targets = sorted(set(self._processes_of(sorted(record.accessed_partitions()))))
+            heappush(self._stable_heap, (timestamp, dot))
+            targets = self._targets_for(record.accessed_partitions())
             self.send(targets, MStable(dot, partition=self.partition), now)
         self._try_execute(now)
 
@@ -540,20 +575,17 @@ class TempoProcess(RecoveryMixin, ProcessBase):
 
         Commands are executed strictly in ``(timestamp, id)`` order; a
         command whose ``MStable`` set is incomplete blocks the ones after it,
-        exactly like the blocking wait of Algorithm 6, line 102.
+        exactly like the blocking wait of Algorithm 6, line 102.  The heap
+        replaces the pseudocode's re-sorting of the committed set: the head
+        of ``_stable_heap`` is exactly the minimum of that sort.
         """
-        while True:
-            queue = sorted(
-                (timestamp, dot)
-                for dot, timestamp in self._committed.items()
-                if self._info[dot].stable_sent
-            )
-            if not queue:
-                return
-            _, dot = queue[0]
+        heap = self._stable_heap
+        while heap:
+            _, dot = heap[0]
             record = self._info[dot]
             if not record.has_all_stable():
                 return
+            heappop(heap)
             self._execute(dot, record, now)
 
     def _execute(self, dot: Dot, record: CommandInfo, now: float) -> None:
@@ -592,7 +624,25 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._recovery_tick(now)
 
     def _recovery_tick(self, now: float) -> None:
-        """Attempt recovery of stuck pending commands (Algorithm 6, line 75)."""
+        """Attempt recovery of stuck pending commands (Algorithm 6, line 75).
+
+        The scan over ``_info`` is gated by the ``_pending_watch`` heap: it
+        only runs when the oldest still-pending watched command has exceeded
+        the recovery timeout, so healthy runs never pay for it.  When the
+        scan does run it iterates ``_info`` itself (not the watch heap), so
+        re-broadcast/recovery order is identical to an ungated sweep.
+        """
+        watch = self._pending_watch
+        while watch:
+            first_seen, dot = watch[0]
+            record = self._info.get(dot)
+            if record is not None and record.is_pending:
+                if now - first_seen < self.config.recovery_timeout:
+                    return
+                break
+            heappop(watch)
+        else:
+            return
         for dot, record in list(self._info.items()):
             if not record.is_pending:
                 continue

@@ -12,12 +12,27 @@ The execution protocol collects promises from the other processes of the
 partition into a ``Promises`` set and derives, per process, the *highest
 contiguous promise* — the largest ``c`` such that all of ``<j, 1> .. <j, c>``
 are known.  Stability of a timestamp follows from Theorem 1.
+
+Performance notes
+-----------------
+
+Detached promises are issued by clock jumps, so they arrive as contiguous
+integer ranges.  :class:`PromiseTracker` therefore stores them as sorted
+disjoint ``[lo, hi]`` ranges (``Promise`` objects are only materialised at
+the broadcast/inspection boundary), which makes issuing a jump of any size
+O(1) and makes the drain performed by :meth:`PromiseTracker.snapshot`
+proportional to the number of *ranges*, not promises.  Similarly,
+:class:`PromiseSet` absorbs a contiguous range in O(1) via
+:meth:`PromiseSet.add_range` when it extends the frontier, and caches the
+sorted-frontier answer of :meth:`PromiseSet.stable_timestamp` until a
+frontier actually moves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 from repro.core.identifiers import Dot
 
@@ -36,6 +51,104 @@ class Promise:
             raise ValueError("process identifiers are non-negative")
 
 
+class _IntRanges:
+    """Sorted, disjoint, inclusive integer ranges.
+
+    Appending past the current maximum — the clock-jump common case — is
+    O(1); arbitrary insertion falls back to a bisect-based merge.
+    """
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self) -> None:
+        self._ranges: List[List[int]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def count(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self._ranges)
+
+    def ranges(self) -> List[Tuple[int, int]]:
+        return [(lo, hi) for lo, hi in self._ranges]
+
+    def contains(self, value: int) -> bool:
+        ranges = self._ranges
+        index = bisect_left(ranges, [value + 1]) - 1
+        return index >= 0 and ranges[index][0] <= value <= ranges[index][1]
+
+    def iter_values(self) -> Iterator[int]:
+        for lo, hi in self._ranges:
+            yield from range(lo, hi + 1)
+
+    def clear(self) -> None:
+        self._ranges = []
+
+    def add_range(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Insert ``[lo, hi]``; return the sub-ranges that were newly covered."""
+        if hi < lo:
+            return []
+        ranges = self._ranges
+        if not ranges or lo > ranges[-1][1] + 1:
+            ranges.append([lo, hi])
+            return [(lo, hi)]
+        last = ranges[-1]
+        if lo == last[1] + 1:
+            last[1] = hi
+            return [(lo, hi)]
+        return self._add_range_slow(lo, hi)
+
+    def _add_range_slow(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        ranges = self._ranges
+        # First range whose start could fall inside or after [lo, hi],
+        # stepping back one if the previous range covers or touches ``lo``.
+        index = bisect_left(ranges, [lo])
+        if index > 0 and ranges[index - 1][1] + 1 >= lo:
+            index -= 1
+        start = index
+        added: List[Tuple[int, int]] = []
+        cursor = lo
+        merge_lo = lo
+        merge_hi = hi
+        while index < len(ranges) and ranges[index][0] <= hi + 1:
+            range_lo, range_hi = ranges[index]
+            if cursor < range_lo:
+                added.append((cursor, min(hi, range_lo - 1)))
+            if range_hi + 1 > cursor:
+                cursor = range_hi + 1
+            if range_lo < merge_lo:
+                merge_lo = range_lo
+            if range_hi > merge_hi:
+                merge_hi = range_hi
+            index += 1
+        if cursor <= hi:
+            added.append((cursor, hi))
+        ranges[start:index] = [[merge_lo, merge_hi]]
+        return added
+
+    def split_at(self, limit: int) -> Tuple[List[List[int]], List[List[int]]]:
+        """Partition into (ranges with values <= limit, ranges above it)."""
+        low: List[List[int]] = []
+        high: List[List[int]] = []
+        for lo, hi in self._ranges:
+            if hi <= limit:
+                low.append([lo, hi])
+            elif lo > limit:
+                high.append([lo, hi])
+            else:
+                low.append([lo, limit])
+                high.append([limit + 1, hi])
+        return low, high
+
+
+def _materialise(process: int, ranges: Iterable[Tuple[int, int]]) -> FrozenSet[Promise]:
+    return frozenset(
+        Promise(process, timestamp)
+        for lo, hi in ranges
+        for timestamp in range(lo, hi + 1)
+    )
+
+
 class PromiseTracker:
     """Per-process accumulator of locally *issued* promises.
 
@@ -43,48 +156,81 @@ class PromiseTracker:
     at a single process.  Promises are drained when broadcast so each promise
     is, in the common case, sent only once (footnote 2 of the paper); the
     full set is retained for re-broadcast on demand (e.g. after suspected
-    message loss).
+    message loss).  Detached promises are stored as integer ranges (see the
+    module docstring); ``Promise`` objects only exist on the wire.
     """
 
     def __init__(self, process: int) -> None:
         self.process = process
-        self._detached: Set[Promise] = set()
-        self._attached: Dict[Dot, Set[Promise]] = {}
-        self._pending_detached: Set[Promise] = set()
-        self._pending_attached: Dict[Dot, Set[Promise]] = {}
+        self._detached = _IntRanges()
+        self._pending_detached = _IntRanges()
+        self._attached: Dict[Dot, Set[int]] = {}
+        self._pending_attached: Dict[Dot, Set[int]] = {}
 
     # -- recording ------------------------------------------------------------
 
+    def add_detached_range(self, lo: int, hi: int) -> None:
+        """Record detached promises for every timestamp in ``[lo, hi]``."""
+        if hi < lo:
+            return
+        if lo < 1:
+            raise ValueError("promise timestamps start at 1")
+        for new_lo, new_hi in self._detached.add_range(lo, hi):
+            self._pending_detached.add_range(new_lo, new_hi)
+
     def add_detached(self, timestamps: Iterable[int]) -> None:
-        """Record detached promises for the given timestamps."""
+        """Record detached promises for the given timestamps.
+
+        Consecutive runs in the input are coalesced into range insertions;
+        already-recorded timestamps are not re-queued for broadcast.
+        """
+        run_lo = run_hi = None
         for timestamp in timestamps:
-            promise = Promise(self.process, timestamp)
-            if promise not in self._detached:
-                self._detached.add(promise)
-                self._pending_detached.add(promise)
+            if run_lo is None:
+                run_lo = run_hi = timestamp
+            elif timestamp == run_hi + 1:
+                run_hi = timestamp
+            else:
+                self.add_detached_range(run_lo, run_hi)
+                run_lo = run_hi = timestamp
+        if run_lo is not None:
+            self.add_detached_range(run_lo, run_hi)
 
     def add_attached(self, dot: Dot, timestamp: int) -> None:
         """Record the attached promise for a proposal on command ``dot``."""
-        promise = Promise(self.process, timestamp)
-        self._attached.setdefault(dot, set()).add(promise)
-        self._pending_attached.setdefault(dot, set()).add(promise)
+        if timestamp < 1:
+            raise ValueError("promise timestamps start at 1")
+        self._attached.setdefault(dot, set()).add(timestamp)
+        self._pending_attached.setdefault(dot, set()).add(timestamp)
 
     # -- inspection -----------------------------------------------------------
 
     def detached(self) -> FrozenSet[Promise]:
-        return frozenset(self._detached)
+        return _materialise(self.process, self._detached.ranges())
+
+    def detached_ranges(self) -> List[Tuple[int, int]]:
+        """Detached promises as sorted disjoint inclusive ranges."""
+        return self._detached.ranges()
 
     def attached(self) -> Dict[Dot, FrozenSet[Promise]]:
-        return {dot: frozenset(promises) for dot, promises in self._attached.items()}
+        process = self.process
+        return {
+            dot: frozenset(Promise(process, ts) for ts in timestamps)
+            for dot, timestamps in self._attached.items()
+        }
 
     def attached_for(self, dot: Dot) -> FrozenSet[Promise]:
-        return frozenset(self._attached.get(dot, set()))
+        process = self.process
+        return frozenset(
+            Promise(process, ts) for ts in self._attached.get(dot, ())
+        )
 
     def all_issued(self) -> FrozenSet[Promise]:
         """All promises (attached or detached) issued so far."""
-        issued = set(self._detached)
-        for promises in self._attached.values():
-            issued.update(promises)
+        process = self.process
+        issued = set(self.detached())
+        for timestamps in self._attached.values():
+            issued.update(Promise(process, ts) for ts in timestamps)
         return frozenset(issued)
 
     # -- broadcasting ---------------------------------------------------------
@@ -100,12 +246,13 @@ class PromiseTracker:
         set is returned.
         """
         if drain:
-            detached = frozenset(self._pending_detached)
+            process = self.process
+            detached = _materialise(process, self._pending_detached.ranges())
             attached = {
-                dot: frozenset(promises)
-                for dot, promises in self._pending_attached.items()
+                dot: frozenset(Promise(process, ts) for ts in timestamps)
+                for dot, timestamps in self._pending_attached.items()
             }
-            self._pending_detached = set()
+            self._pending_detached = _IntRanges()
             self._pending_attached = {}
             return detached, attached
         return self.detached(), self.attached()
@@ -122,59 +269,125 @@ class PromiseTracker:
         caller passes the timestamp below which this is known to hold (e.g.
         the minimum stable timestamp acknowledged by all peers) together
         with the identifiers whose commands have been executed everywhere.
-        Pending (not yet broadcast) promises are never dropped.  Returns the
-        number of promises discarded.
+        Pending (not yet broadcast) promises are never dropped, empty
+        attached entries are removed, and the operation is idempotent:
+        calling it again with the same arguments drops nothing further.
+        Returns the number of promises discarded.
         """
-        dropped = 0
-        keep_detached = set()
-        for promise in self._detached:
-            if promise.timestamp <= up_to_timestamp and promise not in self._pending_detached:
-                dropped += 1
-            else:
-                keep_detached.add(promise)
-        self._detached = keep_detached
+        detached_low, detached_high = self._detached.split_at(up_to_timestamp)
+        pending_low, _ = self._pending_detached.split_at(up_to_timestamp)
+        dropped = sum(hi - lo + 1 for lo, hi in detached_low) - sum(
+            hi - lo + 1 for lo, hi in pending_low
+        )
+        kept = _IntRanges()
+        kept._ranges = pending_low + detached_high
+        self._detached = kept
         for dot in list(executed_dots):
-            if dot in self._attached and dot not in self._pending_attached:
-                promises = self._attached[dot]
-                if all(promise.timestamp <= up_to_timestamp for promise in promises):
-                    dropped += len(promises)
-                    del self._attached[dot]
+            timestamps = self._attached.get(dot)
+            if timestamps is None:
+                continue
+            if not timestamps:
+                del self._attached[dot]
+                continue
+            if dot in self._pending_attached:
+                continue
+            if all(ts <= up_to_timestamp for ts in timestamps):
+                dropped += len(timestamps)
+                del self._attached[dot]
         return dropped
 
 
-@dataclass
 class PromiseSet:
     """The ``Promises`` variable: promises *known* at a process.
 
     Supports the ``highest_contiguous_promise`` query of Algorithm 2 in
     amortised O(1) per insertion by keeping, per process, the current
-    contiguous frontier plus a set of out-of-order timestamps.
+    contiguous frontier plus a set of out-of-order timestamps.  Contiguous
+    blocks (e.g. from an ``MPromises`` broadcast covering a clock jump) are
+    absorbed in O(1) via :meth:`add_range` when they extend the frontier,
+    and :meth:`stable_timestamp` caches its sorted-frontier answer until a
+    frontier moves.
     """
 
-    _frontier: Dict[int, int] = field(default_factory=dict)
-    _pending: Dict[int, Set[int]] = field(default_factory=dict)
-    _size: int = 0
+    __slots__ = ("_frontier", "_pending", "_size", "_stable_cache")
+
+    def __init__(self) -> None:
+        self._frontier: Dict[int, int] = {}
+        self._pending: Dict[int, Set[int]] = {}
+        self._size = 0
+        self._stable_cache: Dict[Tuple[int, ...], int] = {}
 
     def add(self, promise: Promise) -> None:
         """Insert a single promise."""
-        process = promise.process
+        self.add_timestamp(promise.process, promise.timestamp)
+
+    def add_timestamp(self, process: int, timestamp: int) -> None:
+        """Insert the promise ``<process, timestamp>`` without materialising
+        a :class:`Promise` object."""
         frontier = self._frontier.get(process, 0)
-        if promise.timestamp <= frontier:
+        if timestamp <= frontier:
             return
         pending = self._pending.setdefault(process, set())
-        if promise.timestamp in pending:
+        if timestamp == frontier + 1:
+            frontier = timestamp
+            self._size += 1
+            while frontier + 1 in pending:
+                frontier += 1
+                pending.remove(frontier)
+            self._frontier[process] = frontier
+            if self._stable_cache:
+                self._stable_cache.clear()
             return
-        pending.add(promise.timestamp)
+        if timestamp in pending:
+            return
+        pending.add(timestamp)
         self._size += 1
-        # Advance the contiguous frontier as far as possible.
-        while frontier + 1 in pending:
-            frontier += 1
-            pending.remove(frontier)
-        self._frontier[process] = frontier
+
+    def add_range(self, process: int, lo: int, hi: int) -> None:
+        """Insert every promise ``<process, lo..hi>`` (bulk API).
+
+        O(1) when the range extends the contiguous frontier and no
+        out-of-order timestamps overlap it — the common case for the
+        detached promises of a clock jump.
+        """
+        if hi < lo:
+            return
+        frontier = self._frontier.get(process, 0)
+        if hi <= frontier:
+            return
+        if lo <= frontier:
+            lo = frontier + 1
+        pending = self._pending.get(process)
+        if lo == frontier + 1:
+            if pending:
+                added = hi - lo + 1
+                for timestamp in range(lo, hi + 1):
+                    if timestamp in pending:
+                        pending.remove(timestamp)
+                        added -= 1
+                self._size += added
+                frontier = hi
+                while frontier + 1 in pending:
+                    frontier += 1
+                    pending.remove(frontier)
+            else:
+                self._size += hi - lo + 1
+                frontier = hi
+            self._frontier[process] = frontier
+            if self._stable_cache:
+                self._stable_cache.clear()
+            return
+        if pending is None:
+            pending = self._pending.setdefault(process, set())
+        for timestamp in range(lo, hi + 1):
+            if timestamp not in pending:
+                pending.add(timestamp)
+                self._size += 1
 
     def add_all(self, promises: Iterable[Promise]) -> None:
+        add_timestamp = self.add_timestamp
         for promise in promises:
-            self.add(promise)
+            add_timestamp(promise.process, promise.timestamp)
 
     def __contains__(self, promise: Promise) -> bool:
         frontier = self._frontier.get(promise.process, 0)
@@ -191,17 +404,33 @@ class PromiseSet:
 
     def frontier(self, processes: Iterable[int]) -> List[int]:
         """Highest contiguous promise for each of ``processes``."""
-        return [self.highest_contiguous_promise(process) for process in processes]
+        frontiers = self._frontier
+        return [frontiers.get(process, 0) for process in processes]
 
     def stable_timestamp(self, processes: Iterable[int]) -> int:
         """Highest stable timestamp per Theorem 1.
 
-        Sorts the per-process contiguous frontiers and returns the value at
-        index ``floor(r/2)`` — i.e. the largest ``s`` such that a majority of
-        processes have all their promises up to ``s`` known.
+        A timestamp ``s`` is stable once all promises up to ``s`` from a
+        strict majority (``floor(r/2) + 1``) of the ``r`` processes are
+        known.  Sorting the per-process contiguous frontiers ascending, the
+        highest such ``s`` is the ``floor(r/2) + 1``-th largest frontier,
+        i.e. index ``ceil(r/2) - 1 == (r - 1) // 2``.  (For odd ``r`` this
+        coincides with the median index ``r // 2``; for even ``r`` the two
+        differ — ``r // 2`` would only be backed by ``r/2`` processes, one
+        short of a majority.)
+
+        The result is cached per ``processes`` tuple and invalidated when a
+        frontier advances, so repeated stability checks between promise
+        arrivals cost one dictionary lookup.
         """
-        frontiers = sorted(self.frontier(processes))
+        key = tuple(processes)
+        cached = self._stable_cache.get(key)
+        if cached is not None:
+            return cached
+        frontiers = sorted(self._frontier.get(process, 0) for process in key)
         if not frontiers:
-            return 0
-        majority_index = len(frontiers) // 2
-        return frontiers[majority_index]
+            value = 0
+        else:
+            value = frontiers[(len(frontiers) - 1) // 2]
+        self._stable_cache[key] = value
+        return value

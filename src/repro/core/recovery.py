@@ -88,7 +88,7 @@ class RecoveryMixin:
         if info.ballot == 0:
             if info.phase is Phase.PAYLOAD:
                 result = self.clock.proposal(0)
-                self.tracker.add_detached(result.detached)
+                self._track_detached(result.detached)
                 self.tracker.add_attached(dot, result.timestamp)
                 self._absorb_own_issue(dot, result.timestamp, result.detached)
                 info.timestamp = result.timestamp

@@ -25,10 +25,13 @@ def highest_contiguous_promises(
 def stable_timestamp(promises: PromiseSet, processes: Sequence[int]) -> int:
     """Highest stable timestamp per Theorem 1.
 
-    A timestamp ``s`` is stable once ``Promises`` contains all promises up to
-    ``s`` from a majority of the partition's processes; the highest such
-    ``s`` is the value at index ``floor(r/2)`` of the ascending-sorted
-    per-process frontiers.
+    A timestamp ``s`` is stable once ``Promises`` contains all promises up
+    to ``s`` from a strict majority (``floor(r/2) + 1``) of the partition's
+    ``r`` processes; the highest such ``s`` is the value at index
+    ``(r - 1) // 2`` of the ascending-sorted per-process frontiers (the
+    ``floor(r/2) + 1``-th largest).  For odd ``r`` this is the median; for
+    even ``r`` the median index ``r // 2`` would be one process short of a
+    majority.
     """
     return promises.stable_timestamp(processes)
 

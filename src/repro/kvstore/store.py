@@ -9,7 +9,7 @@ the test suite rely on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.commands import Command
 from repro.core.identifiers import Dot
@@ -22,6 +22,7 @@ class KeyValueStore:
         self.partition = partition
         self._data: Dict[str, Optional[str]] = {}
         self._applied: List[Dot] = []
+        self._applied_set: Set[Dot] = set()
         self._writes_per_key: Dict[str, int] = {}
 
     def apply(self, command: Command) -> Dict[str, Optional[str]]:
@@ -32,7 +33,7 @@ class KeyValueStore:
         Applying the same command twice is rejected, which enforces the
         Validity property (a command is executed at most once).
         """
-        if command.dot in set(self._applied):
+        if command.dot in self._applied_set:
             raise ValueError(f"command {command.dot} applied twice")
         results: Dict[str, Optional[str]] = {}
         for op in command.ops:
@@ -43,6 +44,7 @@ class KeyValueStore:
             else:
                 results[op.key] = self._data.get(op.key)
         self._applied.append(command.dot)
+        self._applied_set.add(command.dot)
         return results
 
     def get(self, key: str) -> Optional[str]:

@@ -40,13 +40,27 @@ class ThroughputTracker:
         return self.last_completion - self.first_completion
 
     def ops_per_second(self) -> float:
-        """Completed commands per second of simulated time."""
+        """Completed commands per second of simulated time.
+
+        Interval-based rate: ``completed - 1`` inter-completion intervals
+        span the ``[first_completion, last_completion]`` window, so counting
+        ``completed`` events over that window would overstate the rate (11
+        completions at 0, 100, .. 1000 ms are 10 ops/s, not 11).
+        """
         duration = self.duration_ms()
         if duration <= 0:
             return 0.0
-        return self.completed / (duration / 1000.0)
+        return (self.completed - 1) / (duration / 1000.0)
 
     def ops_per_second_per_site(self) -> Dict[str, float]:
+        """Per-site completion counts over the shared measurement window.
+
+        Deliberately count-based (events per second of the global window):
+        a site's completions are a subset of the window-defining events, so
+        there is no per-site fencepost to correct.  Consequently the values
+        sum to ``completed / window`` — one interval more than
+        :meth:`ops_per_second`'s interval-based total.
+        """
         duration = self.duration_ms()
         if duration <= 0:
             return {site: 0.0 for site in self.per_site}

@@ -29,6 +29,7 @@ dominant effect is the wait condition, which is fully modelled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.base import Envelope, ProcessBase
@@ -93,6 +94,14 @@ class CaesarProcess(ProcessBase):
         self._info: Dict[Dot, CaesarInfo] = {}
         self._known_per_key: Dict[str, Set[Dot]] = {}
         self._deferred: List[_DeferredReply] = []
+        #: Min-heap of ``(timestamp, dot)`` over committed-but-unexecuted
+        #: commands; its head is the execution candidate (see _try_execute).
+        self._commit_heap: List[Tuple[Timestamp, Dot]] = []
+        self._dispatch: Dict[type, Callable[[int, object, float], None]] = {
+            MCaesarPropose: self._on_propose,
+            MCaesarProposeAck: self._on_propose_ack,
+            MCaesarCommit: self._on_commit,
+        }
         #: Commands whose replies are currently blocked (for observability
         #: and for the §D pathological-scenario experiments).
         self.blocked_replies_ever = 0
@@ -166,14 +175,10 @@ class CaesarProcess(ProcessBase):
     # -- message handling -------------------------------------------------------------
 
     def on_message(self, sender: int, message: object, now: float) -> None:
-        if isinstance(message, MCaesarPropose):
-            self._on_propose(sender, message, now)
-        elif isinstance(message, MCaesarProposeAck):
-            self._on_propose_ack(sender, message, now)
-        elif isinstance(message, MCaesarCommit):
-            self._on_commit(sender, message, now)
-        else:
+        handler = self._dispatch.get(message.__class__)
+        if handler is None:
             raise TypeError(f"unexpected message {message!r}")
+        handler(sender, message, now)
 
     def _on_propose(self, sender: int, message: MCaesarPropose, now: float) -> None:
         record = self.info(message.dot)
@@ -247,6 +252,7 @@ class CaesarProcess(ProcessBase):
         record.dependencies = message.dependencies
         record.status = "commit"
         record.committed_at = now
+        heappush(self._commit_heap, (record.timestamp, message.dot))
         self._register(message.command)
         self.clock = max(self.clock, message.timestamp[0])
         self._flush_deferred(now)
@@ -275,24 +281,20 @@ class CaesarProcess(ProcessBase):
         timestamp stability).  Execution is strictly in timestamp order among
         the commands this replica knows, so an unstable command blocks its
         successors — the behaviour responsible for Caesar's tail latency.
+
+        The committed-but-unexecuted commands wait in a min-heap: only the
+        lowest-timestamped one can ever execute (an unstable head blocks the
+        rest), so peeking the head replaces re-sorting the whole record
+        table on every commit and tick.
         """
-        progress = True
-        while progress:
-            progress = False
-            committed = sorted(
-                (
-                    (record.timestamp, dot)
-                    for dot, record in self._info.items()
-                    if record.status == "commit"
-                ),
-            )
-            for _, dot in committed:
-                record = self._info[dot]
-                if not self._is_stable(record):
-                    break
-                self._execute(dot, record, now)
-                progress = True
-                break
+        heap = self._commit_heap
+        while heap:
+            _, dot = heap[0]
+            record = self._info[dot]
+            if not self._is_stable(record):
+                return
+            heappop(heap)
+            self._execute(dot, record, now)
 
     def _is_stable(self, record: CaesarInfo) -> bool:
         for dependency in record.dependencies:

@@ -88,6 +88,15 @@ class DependencyProtocolProcess(ProcessBase):
         self._conflicts: Dict[str, Set[Dot]] = {}
         self._max_sequence_per_key: Dict[str, int] = {}
         self.executor = DependencyGraphExecutor()
+        #: Message-type -> bound handler (exact class match); bound methods
+        #: resolve subclass overrides (e.g. Janus) correctly.
+        self._dispatch: Dict[type, Callable[[int, object, float], None]] = {
+            MPreAccept: self._on_preaccept,
+            MPreAcceptAck: self._on_preaccept_ack,
+            MDepAccept: self._on_accept,
+            MDepAcceptAck: self._on_accept_ack,
+            MDepCommit: self._on_commit,
+        }
 
     # -- protocol parameters (overridden by subclasses) ---------------------------
 
@@ -208,18 +217,10 @@ class DependencyProtocolProcess(ProcessBase):
     # -- message handling -------------------------------------------------------------
 
     def on_message(self, sender: int, message: object, now: float) -> None:
-        if isinstance(message, MPreAccept):
-            self._on_preaccept(sender, message, now)
-        elif isinstance(message, MPreAcceptAck):
-            self._on_preaccept_ack(sender, message, now)
-        elif isinstance(message, MDepAccept):
-            self._on_accept(sender, message, now)
-        elif isinstance(message, MDepAcceptAck):
-            self._on_accept_ack(sender, message, now)
-        elif isinstance(message, MDepCommit):
-            self._on_commit(sender, message, now)
-        else:
+        handler = self._dispatch.get(message.__class__)
+        if handler is None:
             raise TypeError(f"unexpected message {message!r}")
+        handler(sender, message, now)
 
     def _on_preaccept(self, sender: int, message: MPreAccept, now: float) -> None:
         record = self.info(message.dot)

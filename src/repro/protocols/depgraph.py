@@ -39,14 +39,28 @@ class DependencyGraph:
     def __init__(self) -> None:
         self._nodes: Dict[Dot, CommittedNode] = {}
         self._executed: Set[Dot] = set()
+        #: Committed-but-unexecuted dots in commit order (insertion-ordered
+        #: dict used as an ordered set).  Kept incrementally so execution
+        #: passes never rescan the full node table.
+        self._unexecuted: Dict[Dot, None] = {}
 
-    def commit(self, dot: Dot, dependencies: Iterable[Dot], sequence: int = 0) -> None:
-        """Record that ``dot`` committed with the given dependencies."""
+    def commit(self, dot: Dot, dependencies: Iterable[Dot], sequence: int = 0) -> bool:
+        """Record that ``dot`` committed with the given dependencies.
+
+        Returns ``True`` when the commit is new, ``False`` for duplicates.
+        """
         if dot in self._nodes:
-            return
+            return False
         self._nodes[dot] = CommittedNode(
             dot=dot, dependencies=frozenset(dependencies), sequence=sequence
         )
+        self._unexecuted[dot] = None
+        return True
+
+    def mark_executed(self, dot: Dot) -> None:
+        """Record that ``dot`` was executed."""
+        self._executed.add(dot)
+        self._unexecuted.pop(dot, None)
 
     def is_committed(self, dot: Dot) -> bool:
         return dot in self._nodes
@@ -62,7 +76,7 @@ class DependencyGraph:
 
     def pending_execution(self) -> List[Dot]:
         """Committed commands not yet executed."""
-        return [dot for dot in self._nodes if dot not in self._executed]
+        return list(self._unexecuted)
 
     def dependencies_of(self, dot: Dot) -> FrozenSet[Dot]:
         node = self._nodes.get(dot)
@@ -78,10 +92,7 @@ class DependencyGraph:
         Components are returned in reverse topological order, i.e. the order
         in which they must be executed.
         """
-        ready_roots = [
-            dot for dot in self._nodes
-            if dot not in self._executed
-        ]
+        ready_roots = list(self._unexecuted)
         if not ready_roots:
             return []
         blocked = self._blocked_set(ready_roots)
@@ -103,7 +114,7 @@ class DependencyGraph:
         order: List[Dot] = []
         for component in self.executable_components():
             for dot in component:
-                self._executed.add(dot)
+                self.mark_executed(dot)
                 order.append(dot)
         return order
 
@@ -225,20 +236,29 @@ class DependencyGraphExecutor:
         self.graph = DependencyGraph()
         self.execution_order: List[Dot] = []
         self.component_sizes: List[int] = []
+        #: Whether the committed subgraph changed since the last advance().
+        #: Executing commands never unblocks anything (blocking is caused by
+        #: *uncommitted* dependencies only) and advance() reaches a fixed
+        #: point, so a clean graph cannot yield new executables.
+        self._dirty = False
 
     def commit(self, dot: Dot, dependencies: Iterable[Dot], sequence: int = 0) -> List[Dot]:
         """Commit a command and return the commands that became executable."""
-        self.graph.commit(dot, dependencies, sequence)
+        if self.graph.commit(dot, dependencies, sequence):
+            self._dirty = True
         return self.advance()
 
     def advance(self) -> List[Dot]:
         """Execute every ready component; return newly executed commands."""
+        if not self._dirty:
+            return []
+        self._dirty = False
         newly: List[Dot] = []
         components = self.graph.executable_components()
         for component in components:
             self.component_sizes.append(len(component))
             for dot in component:
-                self.graph._executed.add(dot)
+                self.graph.mark_executed(dot)
                 self.execution_order.append(dot)
                 newly.append(dot)
         return newly

@@ -66,6 +66,12 @@ class FPaxosProcess(ProcessBase):
         self._applied_up_to = 0
         self._submitted_here: Set[Dot] = set()
         self._submitted_at: Dict[Dot, float] = {}
+        self._dispatch: Dict[type, Callable[[int, object, float], None]] = {
+            MForward: self._on_forward,
+            MAccept: self._on_accept,
+            MAccepted: self._on_accepted,
+            MDecided: self._on_decided,
+        }
 
     # -- roles ------------------------------------------------------------------
 
@@ -136,16 +142,10 @@ class FPaxosProcess(ProcessBase):
     # -- message handling -------------------------------------------------------------
 
     def on_message(self, sender: int, message: object, now: float) -> None:
-        if isinstance(message, MForward):
-            self._on_forward(sender, message, now)
-        elif isinstance(message, MAccept):
-            self._on_accept(sender, message, now)
-        elif isinstance(message, MAccepted):
-            self._on_accepted(sender, message, now)
-        elif isinstance(message, MDecided):
-            self._on_decided(sender, message, now)
-        else:
+        handler = self._dispatch.get(message.__class__)
+        if handler is None:
             raise TypeError(f"unexpected message {message!r}")
+        handler(sender, message, now)
 
     def _on_forward(self, sender: int, message: MForward, now: float) -> None:
         if not self.is_leader():

@@ -119,7 +119,11 @@ class AsyncCluster:
         channel = self.router.channel(process.process_id)
         assert channel is not None
         try:
-            while True:
+            # The loop re-checks ``_running``: ``asyncio.wait_for`` can
+            # swallow a one-shot ``Task.cancel()`` when the inner ``get()``
+            # completes in the same event-loop step, which would leave this
+            # task alive forever and deadlock ``stop()``'s gather.
+            while self._running:
                 try:
                     sender, message = await asyncio.wait_for(
                         channel.get(), timeout=self.options.tick_interval
@@ -135,7 +139,7 @@ class AsyncCluster:
         channel = self.router.channel(self._client_endpoint)
         assert channel is not None
         try:
-            while True:
+            while self._running:
                 _, message = await channel.get()
                 if isinstance(message, ClientReply):
                     future = self._pending_replies.pop(message.dot, None)

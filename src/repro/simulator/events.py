@@ -2,15 +2,22 @@
 
 Events are ordered by ``(time, sequence)`` so that simultaneous events are
 processed in insertion order, which keeps simulations deterministic.
+
+:class:`Event` is a ``NamedTuple`` rather than a dataclass: events are the
+unit of work of the simulation loop, and a tuple both allocates faster and
+lets the heap compare entries with C-level tuple comparison (the unique
+``sequence`` field guarantees the comparison never reaches the non-orderable
+fields behind it).  The simulation loop additionally pushes *bare* tuples
+with the same field order onto ``_heap`` on its hottest scheduling paths;
+:meth:`EventQueue.pop` normalises them back to :class:`Event`.
 """
 
 from __future__ import annotations
 
 import enum
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from heapq import heappop, heappush
+from typing import Any, Iterator, List, NamedTuple, Optional
 
 
 class EventKind(enum.Enum):
@@ -23,25 +30,23 @@ class EventKind(enum.Enum):
     CUSTOM = "custom"
 
 
-@dataclass(order=True)
-class Event:
+class Event(NamedTuple):
     """A scheduled simulator event."""
 
     time: float
     sequence: int
-    kind: EventKind = field(compare=False)
-    target: int = field(compare=False, default=-1)
-    payload: Any = field(compare=False, default=None)
-    sender: int = field(compare=False, default=-1)
+    kind: EventKind
+    target: int = -1
+    payload: Any = None
+    sender: int = -1
 
 
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: List[Event] = []
         self._counter = itertools.count()
-        self._size = 0
 
     def push(
         self,
@@ -54,31 +59,27 @@ class EventQueue:
         """Schedule an event and return it."""
         if time < 0:
             raise ValueError("event time must be non-negative")
-        event = Event(
-            time=time,
-            sequence=next(self._counter),
-            kind=kind,
-            target=target,
-            payload=payload,
-            sender=sender,
-        )
-        heapq.heappush(self._heap, event)
-        self._size += 1
+        event = Event(time, next(self._counter), kind, target, payload, sender)
+        heappush(self._heap, event)
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest event, or ``None`` when empty."""
         if not self._heap:
             return None
-        self._size -= 1
-        return heapq.heappop(self._heap)
+        event = heappop(self._heap)
+        # The simulation loop pushes bare tuples (same field order) for
+        # speed; normalise here so the public API always yields Events.
+        if type(event) is Event:
+            return event
+        return Event._make(event)
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest scheduled event, or ``None`` when empty."""
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._heap)
 
     def __bool__(self) -> bool:
         return bool(self._heap)

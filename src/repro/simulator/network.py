@@ -10,7 +10,7 @@ protocols assume fair-lossy links, which periodic re-broadcast copes with.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.simulator.latency import LatencyMatrix
 from repro.simulator.rng import SeededRng
@@ -65,6 +65,12 @@ class Network:
         self._site_of: Dict[int, str] = {}
         self._crashed: Set[int] = set()
         self.stats = NetworkStats()
+        #: Cache of ``(sender, destination) -> base one-way delay`` pairs;
+        #: invalidated when an endpoint is (re)placed.  Jitter, when enabled,
+        #: is drawn per transmission on top of the cached base.
+        self._delay_cache: Dict[Tuple[int, int], float] = {}
+        #: Cache of message type -> (kind name, size_bytes method or None).
+        self._type_info: Dict[type, Tuple[str, Optional[Callable[[object], int]]]] = {}
 
     # -- topology -------------------------------------------------------------
 
@@ -73,6 +79,8 @@ class Network:
         if site not in self.latency_matrix.sites:
             raise KeyError(f"unknown site {site!r}")
         self._site_of[endpoint] = site
+        if self._delay_cache:
+            self._delay_cache.clear()
 
     def site_of(self, endpoint: int) -> str:
         """Site hosting ``endpoint``."""
@@ -90,14 +98,23 @@ class Network:
 
     # -- delivery -------------------------------------------------------------
 
-    def delay(self, sender: int, destination: int) -> float:
-        """One-way delay between two endpoints, including jitter."""
+    def _base_delay(self, sender: int, destination: int) -> float:
+        """Jitter-free one-way delay, cached per endpoint pair."""
+        cached = self._delay_cache.get((sender, destination))
+        if cached is not None:
+            return cached
         site_a = self.site_of(sender)
         site_b = self.site_of(destination)
         if site_a == site_b:
             base = self.options.local_latency_ms
         else:
             base = self.latency_matrix.latency(site_a, site_b)
+        self._delay_cache[(sender, destination)] = base
+        return base
+
+    def delay(self, sender: int, destination: int) -> float:
+        """One-way delay between two endpoints, including jitter."""
+        base = self._base_delay(sender, destination)
         if self.options.jitter_ms:
             base += self.rng.uniform_between(0.0, self.options.jitter_ms)
         return base
@@ -123,16 +140,25 @@ class Network:
         destination has crashed.  Returns the delivery time, or ``None`` when
         the message will never arrive.
         """
-        self.stats.messages_sent += 1
-        kind = type(message).__name__
-        self.stats.per_kind[kind] = self.stats.per_kind.get(kind, 0) + 1
-        size = getattr(message, "size_bytes", None)
-        if callable(size):
-            self.stats.bytes_sent += int(size())
+        stats = self.stats
+        stats.messages_sent += 1
+        message_type = message.__class__
+        type_info = self._type_info.get(message_type)
+        if type_info is None:
+            # Cache the *unbound* class attribute: a bound method would pin
+            # the first instance seen for this type.
+            size = getattr(message_type, "size_bytes", None)
+            type_info = (message_type.__name__, size if callable(size) else None)
+            self._type_info[message_type] = type_info
+        kind, size_method = type_info
+        per_kind = stats.per_kind
+        per_kind[kind] = per_kind.get(kind, 0) + 1
+        if size_method is not None:
+            stats.bytes_sent += int(size_method(message))
         if destination in self._crashed or self.should_drop():
-            self.stats.messages_dropped += 1
+            stats.messages_dropped += 1
             return None
         at = now + self.delay(sender, destination)
         deliver(at, sender, destination, message)
-        self.stats.messages_delivered += 1
+        stats.messages_delivered += 1
         return at

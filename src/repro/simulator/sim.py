@@ -3,20 +3,31 @@
 A :class:`Simulation` owns a set of protocol processes (any
 :class:`repro.core.base.ProcessBase` subclass), a :class:`Network`, optional
 clients, and an event queue.  It repeatedly pops the earliest event, delivers
-it, drains the outboxes of the affected processes into new network events,
-and schedules periodic ticks.
+it, drains the outbox of the affected process into new network events, and
+schedules periodic ticks.
 
 Time is measured in milliseconds of simulated time.
+
+Hot-path notes: the loop pops events straight off the queue's heap in
+batches of identical timestamps, dispatches on the event kind inline, and
+only drains the outbox of the process an event was delivered to — handlers
+can only ever append to their own process's outbox (self-addressed messages
+are delivered synchronously), so scanning every outbox after every event
+would be pure overhead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.base import Envelope, ProcessBase
 from repro.simulator.events import EventKind, EventQueue
 from repro.simulator.network import Network
+
+_MESSAGE = EventKind.MESSAGE
+_TICK = EventKind.TICK
 
 
 @dataclass
@@ -106,28 +117,36 @@ class Simulation:
 
     def route_envelopes(self, envelopes: List[Envelope]) -> None:
         """Turn outgoing envelopes into future MESSAGE events."""
-        for envelope in envelopes:
-            self.network.transmit(
-                envelope.sender,
-                envelope.destination,
-                envelope.message,
-                self.now,
-                self._schedule_delivery,
-            )
+        transmit = self.network.transmit
+        schedule_delivery = self._schedule_delivery
+        now = self.now
+        for sender, destination, message in envelopes:
+            transmit(sender, destination, message, now, schedule_delivery)
 
     def _schedule_delivery(
         self, at: float, sender: int, destination: int, message: object
     ) -> None:
-        self.queue.push(
-            at, EventKind.MESSAGE, target=destination, payload=message, sender=sender
+        # Hot path: push a plain tuple (same field order as Event, which is
+        # itself a tuple) straight onto the heap, skipping the NamedTuple
+        # constructor and the queue.push validation.
+        queue = self.queue
+        heappush(
+            queue._heap,
+            (at, next(queue._counter), _MESSAGE, destination, message, sender),
         )
+
+    def _drain_process(self, process: ProcessBase) -> None:
+        """Route the pending outbox of one process (the only one an event
+        handler can have filled)."""
+        if process.outbox:
+            envelopes = process.outbox
+            process.outbox = []
+            self.route_envelopes(envelopes)
 
     def flush_outboxes(self) -> None:
         """Drain every process outbox into the network."""
         for process in self.processes.values():
-            envelopes = process.drain_outbox()
-            if envelopes:
-                self.route_envelopes(envelopes)
+            self._drain_process(process)
 
     # -- main loop ----------------------------------------------------------------
 
@@ -135,46 +154,57 @@ class Simulation:
         """Run the simulation until ``until`` (or the configured maximum)."""
         horizon = min(until if until is not None else self.options.max_time,
                       self.options.max_time)
-        while self.queue and self.stats.events_processed < self.options.max_events:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > horizon:
+        heap = self.queue._heap
+        stats = self.stats
+        processes = self.processes
+        external = self.external_endpoints
+        max_events = self.options.max_events
+        message_kind = EventKind.MESSAGE
+        tick_kind = EventKind.TICK
+        client_kind = EventKind.CLIENT
+        crash_kind = EventKind.CRASH
+        custom_kind = EventKind.CUSTOM
+        per_process = stats.per_process_messages
+        events_processed = stats.events_processed
+        while heap and events_processed < max_events:
+            if heap[0][0] > horizon:
                 break
-            event = self.queue.pop()
-            assert event is not None
-            self.now = event.time
-            self.stats.events_processed += 1
-            if event.kind is EventKind.MESSAGE:
-                self._handle_message_event(event.sender, event.target, event.payload)
-            elif event.kind is EventKind.TICK:
-                self._handle_tick_event(event.target)
-            elif event.kind is EventKind.CLIENT:
-                self._handle_client_event(event.target, event.payload)
-            elif event.kind is EventKind.CRASH:
-                self._handle_crash_event(event.target)
-            elif event.kind is EventKind.CUSTOM:
-                event.payload(self.now)
+            time, _, kind, target, payload, sender = heappop(heap)
+            self.now = time
+            events_processed += 1
+            if kind is message_kind:
+                stats.messages_delivered += 1
+                process = processes.get(target)
+                if process is not None:
+                    per_process[target] = per_process.get(target, 0) + 1
+                    process.deliver(sender, payload, time)
+                    if process.outbox:
+                        envelopes = process.outbox
+                        process.outbox = []
+                        self.route_envelopes(envelopes)
+                else:
+                    handler = external.get(target)
+                    if handler is not None:
+                        handler(sender, payload, time)
+                        self.flush_outboxes()
+            elif kind is tick_kind:
+                self._handle_tick_event(target)
+            elif kind is client_kind:
+                self._handle_client_event(target, payload)
+            elif kind is crash_kind:
+                self._handle_crash_event(target)
+            elif kind is custom_kind:
+                payload(time)
                 self.flush_outboxes()
-            if self._stop_predicate is not None and self._stop_predicate(self):
-                break
-        self.stats.end_time = self.now
-        return self.stats
+            if self._stop_predicate is not None:
+                stats.events_processed = events_processed
+                if self._stop_predicate(self):
+                    break
+        stats.events_processed = events_processed
+        stats.end_time = self.now
+        return stats
 
     # -- event handlers --------------------------------------------------------------
-
-    def _handle_message_event(self, sender: int, destination: int, message: object) -> None:
-        self.stats.messages_delivered += 1
-        process = self.processes.get(destination)
-        if process is not None:
-            self.stats.per_process_messages[destination] = (
-                self.stats.per_process_messages.get(destination, 0) + 1
-            )
-            process.deliver(sender, message, self.now)
-            self.flush_outboxes()
-            return
-        handler = self.external_endpoints.get(destination)
-        if handler is not None:
-            handler(sender, message, self.now)
-            self.flush_outboxes()
 
     def _handle_tick_event(self, process_id: int) -> None:
         process = self.processes.get(process_id)
@@ -183,9 +213,12 @@ class Simulation:
         self.stats.ticks += 1
         if process.alive:
             process.tick(self.now)
-            self.flush_outboxes()
-        self.queue.push(
-            self.now + self.options.tick_interval, EventKind.TICK, target=process_id
+            self._drain_process(process)
+        queue = self.queue
+        heappush(
+            queue._heap,
+            (self.now + self.options.tick_interval, next(queue._counter), _TICK,
+             process_id, None, -1),
         )
 
     def _handle_client_event(self, process_id: int, command) -> None:
@@ -193,7 +226,7 @@ class Simulation:
         if process is None or not process.alive:
             return
         process.submit(command, self.now)
-        self.flush_outboxes()
+        self._drain_process(process)
 
     def _handle_crash_event(self, process_id: int) -> None:
         process = self.processes.get(process_id)

@@ -75,6 +75,71 @@ class TestPromiseTracker:
         detached, _ = tracker.snapshot(drain=True)
         assert detached == frozenset()
 
+    def test_add_detached_range_matches_elementwise_add(self):
+        by_range = PromiseTracker(0)
+        by_range.add_detached_range(3, 7)
+        elementwise = PromiseTracker(0)
+        elementwise.add_detached([3, 4, 5, 6, 7])
+        assert by_range.detached() == elementwise.detached()
+        assert by_range.detached_ranges() == [(3, 7)]
+
+    def test_add_detached_range_overlap_only_queues_new_timestamps(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached_range(1, 3)
+        tracker.snapshot(drain=True)
+        tracker.add_detached_range(2, 5)
+        detached, _ = tracker.snapshot(drain=True)
+        assert detached == {Promise(0, 4), Promise(0, 5)}
+        assert tracker.detached_ranges() == [(1, 5)]
+
+    def test_unsorted_detached_input_is_normalised(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([5, 1, 3, 2])
+        assert tracker.detached_ranges() == [(1, 3), (5, 5)]
+        assert tracker.detached() == {
+            Promise(0, 1), Promise(0, 2), Promise(0, 3), Promise(0, 5)
+        }
+
+    def test_garbage_collect_is_idempotent(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([1, 2, 3, 4])
+        tracker.add_attached(Dot(0, 1), 5)
+        tracker.snapshot(drain=True)
+        first = tracker.garbage_collect(3, [Dot(0, 1)])
+        assert first == 3
+        assert tracker.detached() == {Promise(0, 4)}
+        # Re-entry with the same arguments drops nothing further.
+        assert tracker.garbage_collect(3, [Dot(0, 1)]) == 0
+        assert tracker.detached() == {Promise(0, 4)}
+
+    def test_garbage_collect_keeps_pending_promises(self):
+        tracker = PromiseTracker(0)
+        tracker.add_detached([1, 2])
+        tracker.snapshot(drain=True)
+        tracker.add_detached([3])  # still pending
+        dropped = tracker.garbage_collect(3, [])
+        assert dropped == 2
+        assert tracker.detached() == {Promise(0, 3)}
+        detached, _ = tracker.snapshot(drain=True)
+        assert detached == {Promise(0, 3)}
+
+    def test_garbage_collect_drops_empty_attached_entries(self):
+        tracker = PromiseTracker(0)
+        tracker.add_attached(Dot(0, 1), 2)
+        tracker.snapshot(drain=True)
+        # Simulate an entry whose promise set emptied out.
+        tracker._attached[Dot(0, 2)] = set()
+        dropped = tracker.garbage_collect(10, [Dot(0, 1), Dot(0, 2)])
+        assert dropped == 1
+        assert tracker.attached() == {}
+
+    def test_garbage_collect_never_drops_pending_attached(self):
+        tracker = PromiseTracker(0)
+        tracker.add_attached(Dot(0, 1), 2)
+        dropped = tracker.garbage_collect(10, [Dot(0, 1)])
+        assert dropped == 0
+        assert tracker.attached_for(Dot(0, 1)) == {Promise(0, 2)}
+
 
 class TestPromiseSet:
     def test_contiguous_frontier(self):
@@ -120,6 +185,97 @@ class TestPromiseSet:
         # Frontiers are [5, 3, 1]; the majority value (index 1) is 3.
         assert promises.stable_timestamp([0, 1, 2]) == 3
 
+    def test_stable_timestamp_even_partition_requires_strict_majority(self):
+        """Theorem 1 for even ``r``: ``r/2`` processes are not a majority.
+
+        With r = 4 and frontiers [9, 9, 1, 0] only two processes know all
+        promises up to 9 — one short of the strict majority of 3 — so the
+        stable timestamp is 1 (backed by frontiers 9, 9 and 1), not 9.
+        """
+        promises = PromiseSet()
+        promises.add_range(0, 1, 9)
+        promises.add_range(1, 1, 9)
+        promises.add(Promise(2, 1))
+        assert promises.stable_timestamp([0, 1, 2, 3]) == 1
+        # A third process catching up makes 9 stable.
+        promises.add_range(2, 2, 9)
+        assert promises.stable_timestamp([0, 1, 2, 3]) == 9
+
+    def test_stable_timestamp_two_processes_is_minimum(self):
+        promises = PromiseSet()
+        promises.add_range(0, 1, 5)
+        promises.add_range(1, 1, 2)
+        assert promises.stable_timestamp([0, 1]) == 2
+
+    def test_out_of_order_insertion_advances_across_gaps(self):
+        promises = PromiseSet()
+        promises.add(Promise(0, 5))
+        promises.add(Promise(0, 3))
+        assert promises.highest_contiguous_promise(0) == 0
+        promises.add(Promise(0, 1))
+        assert promises.highest_contiguous_promise(0) == 1
+        promises.add(Promise(0, 2))
+        # 3 was waiting out of order; 4 is still missing.
+        assert promises.highest_contiguous_promise(0) == 3
+        promises.add(Promise(0, 4))
+        assert promises.highest_contiguous_promise(0) == 5
+
+    def test_duplicate_adds_after_frontier_absorption(self):
+        promises = PromiseSet()
+        promises.add_all([Promise(0, 1), Promise(0, 2)])
+        size = len(promises)
+        promises.add(Promise(0, 1))
+        promises.add(Promise(0, 2))
+        assert len(promises) == size
+
+    def test_contains_after_frontier_absorption(self):
+        promises = PromiseSet()
+        promises.add_all([Promise(0, 2), Promise(0, 1), Promise(0, 4)])
+        # 1 and 2 were absorbed into the frontier, 4 is out of order.
+        assert Promise(0, 1) in promises
+        assert Promise(0, 2) in promises
+        assert Promise(0, 3) not in promises
+        assert Promise(0, 4) in promises
+
+    def test_add_range_extends_frontier(self):
+        promises = PromiseSet()
+        promises.add_range(0, 1, 100)
+        assert promises.highest_contiguous_promise(0) == 100
+        assert len(promises) == 100
+
+    def test_add_range_absorbs_pending_timestamps(self):
+        promises = PromiseSet()
+        promises.add(Promise(0, 3))
+        promises.add(Promise(0, 6))
+        promises.add_range(0, 1, 4)
+        # 3 was pending inside the range; 5 is missing, 6 stays pending.
+        assert promises.highest_contiguous_promise(0) == 4
+        assert len(promises) == 5
+        promises.add(Promise(0, 5))
+        assert promises.highest_contiguous_promise(0) == 6
+
+    def test_add_range_above_frontier_stays_pending(self):
+        promises = PromiseSet()
+        promises.add_range(0, 5, 8)
+        assert promises.highest_contiguous_promise(0) == 0
+        assert Promise(0, 6) in promises
+        promises.add_range(0, 1, 4)
+        assert promises.highest_contiguous_promise(0) == 8
+
+    def test_add_range_matches_elementwise_add(self):
+        ranged = PromiseSet()
+        elementwise = PromiseSet()
+        for process, lo, hi in [(0, 4, 9), (0, 1, 3), (1, 2, 2), (0, 8, 12)]:
+            ranged.add_range(process, lo, hi)
+            elementwise.add_all(
+                Promise(process, ts) for ts in range(lo, hi + 1)
+            )
+        assert len(ranged) == len(elementwise)
+        for process in (0, 1):
+            assert ranged.highest_contiguous_promise(
+                process
+            ) == elementwise.highest_contiguous_promise(process)
+
     @given(
         st.lists(
             st.tuples(st.integers(0, 3), st.integers(1, 40)),
@@ -133,6 +289,26 @@ class TestPromiseSet:
             promises.add(Promise(process, timestamp))
             naive.setdefault(process, set()).add(timestamp)
         for process in range(4):
+            known = naive.get(process, set())
+            expected = 0
+            while expected + 1 in known:
+                expected += 1
+            assert promises.highest_contiguous_promise(process) == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(1, 30), st.integers(0, 8)),
+            max_size=60,
+        )
+    )
+    def test_add_range_matches_naive_set_semantics(self, triples):
+        promises = PromiseSet()
+        naive = {}
+        for process, lo, span in triples:
+            promises.add_range(process, lo, lo + span)
+            naive.setdefault(process, set()).update(range(lo, lo + span + 1))
+        assert len(promises) == sum(len(known) for known in naive.values())
+        for process in range(3):
             known = naive.get(process, set())
             expected = 0
             while expected + 1 in known:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.histogram import LatencyHistogram, nearest_rank
 from repro.metrics.report import ExperimentReport, format_table
 from repro.metrics.throughput import ThroughputTracker
 
@@ -60,6 +60,39 @@ class TestLatencyHistogram:
         batch = histogram.percentiles((95.0, 97.0, 99.0, 99.9, 99.99))
         assert batch[95.0] == 950.0
         assert batch[99.9] == 999.0
+
+    def test_nearest_rank_is_immune_to_float_error(self):
+        # 99.9 / 100 * 1000 evaluates to 999.0000000000001; a plain ceil
+        # would round the rank up to 1000.
+        assert nearest_rank(99.9, 1000) == 999
+        assert nearest_rank(95.0, 1000) == 950
+        assert nearest_rank(99.99, 1000) == 1000
+        assert nearest_rank(100.0, 7) == 7
+        assert nearest_rank(0.01, 1) == 1
+        # Non-integral exact ranks still round up.
+        assert nearest_rank(50.0, 3) == 2
+
+    def test_streaming_aggregates_match_samples_without_sorting(self):
+        histogram = LatencyHistogram()
+        for value in (5.0, 1.0, 9.0, 3.0):
+            histogram.record(value)
+        # Min/max/mean are maintained incrementally: the sample list is
+        # untouched (still unsorted) until a percentile query needs it.
+        assert histogram.minimum() == 1.0
+        assert histogram.maximum() == 9.0
+        assert histogram.mean() == 4.5
+        assert histogram._samples == [5.0, 1.0, 9.0, 3.0]
+        assert histogram.percentile(100.0) == 9.0
+
+    def test_merge_keeps_streaming_aggregates(self):
+        left = LatencyHistogram([2.0, 8.0])
+        right = LatencyHistogram([1.0, 16.0])
+        left.merge(right)
+        assert left.minimum() == 1.0
+        assert left.maximum() == 16.0
+        assert left.mean() == 6.75
+        left.merge(LatencyHistogram())
+        assert left.minimum() == 1.0
 
     @given(st.lists(st.floats(min_value=0, max_value=1e5), min_size=1, max_size=300))
     def test_percentiles_are_monotone_and_bounded(self, samples):

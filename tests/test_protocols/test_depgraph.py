@@ -88,6 +88,24 @@ class TestExecutor:
         executor.commit(dot(0, 1), [dot(5, 5)])
         assert executor.pending() == [dot(0, 1)]
 
+    def test_advance_without_new_commits_is_a_noop(self):
+        executor = DependencyGraphExecutor()
+        executor.commit(dot(0, 1), [dot(5, 5)])  # blocked on uncommitted dep
+        assert executor.advance() == []
+        # A clean graph short-circuits, and the blocked command stays put.
+        assert executor.advance() == []
+        assert executor.pending() == [dot(0, 1)]
+        # The unblocking commit still flows through.
+        newly = executor.commit(dot(5, 5), [])
+        assert newly == [dot(5, 5), dot(0, 1)]
+        assert executor.advance() == []
+
+    def test_duplicate_commit_does_not_mark_graph_dirty(self):
+        executor = DependencyGraphExecutor()
+        executor.commit(dot(0, 1), [])
+        assert executor.commit(dot(0, 1), []) == []
+        assert executor.execution_order == [dot(0, 1)]
+
 
 class TestProperties:
     @given(
