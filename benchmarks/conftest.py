@@ -32,3 +32,52 @@ def emit(name: str, rows: Sequence[Dict[str, object]], title: str, columns: Opti
 def results_emitter():
     """Fixture exposing :func:`emit` to benchmarks."""
     return emit
+
+
+# -- message-traffic reporting -------------------------------------------------
+#
+# Every simulator-backed experiment run records its per-kind message counts;
+# a summary is printed in the terminal summary (uncaptured, so it shows up in
+# CI logs next to the --durations wall times), making message-traffic
+# regressions as visible as runtime regressions.
+
+_TRAFFIC_LOG: List[Dict[str, object]] = []
+
+
+def _record_traffic(config, result) -> None:
+    _TRAFFIC_LOG.append(
+        {
+            "experiment": f"{config.protocol} f={config.faults} "
+            f"clients={config.clients_per_site}",
+            "messages": int(result.stats.get("messages_sent", 0)),
+            "batches": int(result.stats.get("batches_sent", 0)),
+            "commit_requests": int(result.stats.get("sent:MCommitRequest", 0)),
+        }
+    )
+
+
+def pytest_configure(config):
+    from repro.cluster.runner import EXPERIMENT_OBSERVERS
+
+    if _record_traffic not in EXPERIMENT_OBSERVERS:
+        EXPERIMENT_OBSERVERS.append(_record_traffic)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TRAFFIC_LOG:
+        return
+    totals: Dict[str, int] = {}
+    for row in _TRAFFIC_LOG:
+        for key, value in row.items():
+            if key == "experiment":
+                continue
+            totals[key] = totals.get(key, 0) + int(value)
+    terminalreporter.section("message traffic (per run)")
+    for row in _TRAFFIC_LOG:
+        parts = ", ".join(
+            f"{key}={value}" for key, value in row.items() if key != "experiment"
+        )
+        terminalreporter.write_line(f"  {row['experiment']}: {parts}")
+    terminalreporter.write_line(
+        "  TOTAL: " + ", ".join(f"{key}={value}" for key, value in sorted(totals.items()))
+    )

@@ -14,7 +14,7 @@ the maximum-throughput figures use the analytical resource model in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.client import ClosedLoopClient
 from repro.cluster.config import ExperimentConfig
@@ -59,6 +59,12 @@ class ExperimentResult:
 
     def percentile(self, percentile: float) -> float:
         return self.latency.percentile(percentile)
+
+
+#: Callbacks invoked with ``(config, result)`` after every
+#: :func:`run_experiment`.  The benchmark harness subscribes one to surface
+#: per-run message counts next to wall time in CI output.
+EXPERIMENT_OBSERVERS: List[Callable[[ExperimentConfig, "ExperimentResult"], None]] = []
 
 
 class _Deployment:
@@ -225,6 +231,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         completed += client.completed
         submitted += client.submitted
 
+    network_stats = deployment.network.stats
+    stats: Dict[str, float] = {
+        "messages_sent": float(network_stats.messages_sent),
+        "bytes_sent": float(network_stats.bytes_sent),
+        "batches_sent": float(network_stats.batches_sent),
+        "events": float(simulation.stats.events_processed),
+    }
+    # Per-kind message counts (e.g. ``sent:MCommitRequest``) so message-
+    # traffic regressions are visible to tests and the CI smoke job.
+    for kind in sorted(network_stats.per_kind):
+        stats[f"sent:{kind}"] = float(network_stats.per_kind[kind])
     result = ExperimentResult(
         config=config,
         latency=overall,
@@ -233,10 +250,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         completed=completed,
         submitted=submitted,
         per_site_throughput=throughput.ops_per_second_per_site(),
-        stats={
-            "messages_sent": float(deployment.network.stats.messages_sent),
-            "bytes_sent": float(deployment.network.stats.bytes_sent),
-            "events": float(simulation.stats.events_processed),
-        },
+        stats=stats,
     )
+    for observer in EXPERIMENT_OBSERVERS:
+        observer(config, result)
     return result

@@ -33,6 +33,21 @@ class Envelope(NamedTuple):
     message: object
 
 
+class MBatch(NamedTuple):
+    """Transport-level envelope bundling several messages from one sender to
+    one destination into a single delivery.
+
+    ``MBatch`` is not a protocol message: it never appears in a dispatch
+    table and protocols never see it.  Runtimes that coalesce same-
+    destination traffic (the discrete-event simulator batches every message
+    a process emits while handling one event) wrap the messages in an
+    ``MBatch`` and :meth:`ProcessBase.deliver` unpacks it, dispatching the
+    inner messages in their original send order.  See ``docs/batching.md``.
+    """
+
+    messages: Tuple[object, ...]
+
+
 ExecutionListener = Callable[[int, Dot, Command, float], None]
 """Callback ``(process_id, dot, command, now)`` invoked on command execution."""
 
@@ -94,11 +109,22 @@ class ProcessBase(abc.ABC):
     # -- runtime entry points --------------------------------------------------
 
     def deliver(self, sender: int, message: object, now: float = 0.0) -> None:
-        """Deliver one message to this process (crash-aware)."""
+        """Deliver one message (or one :class:`MBatch`) to this process.
+
+        Batches are unpacked here, preserving the send order of the inner
+        messages; crashed processes drop the whole delivery.
+        """
         if not self.alive:
             return
+        message_counts = self.message_counts
+        if type(message) is MBatch:
+            for inner in message.messages:
+                kind = type(inner).__name__
+                message_counts[kind] = message_counts.get(kind, 0) + 1
+                self.on_message(sender, inner, now)
+            return
         kind = type(message).__name__
-        self.message_counts[kind] = self.message_counts.get(kind, 0) + 1
+        message_counts[kind] = message_counts.get(kind, 0) + 1
         self.on_message(sender, message, now)
 
     @abc.abstractmethod

@@ -160,14 +160,26 @@ class MPromises(Message):
 
     ``dot`` is unused for this message kind (promises are not tied to one
     command); a sentinel dot identifying the sender is used instead.
+
+    ``committed`` piggybacks commit metadata: the subset of ``attached``
+    identifiers the sender already knows to be committed.  A receiver that
+    only knows such an identifier through its attached promises can rely on
+    the coordinator's commit broadcast (which provably reached the sender
+    and is therefore in flight) instead of issuing an ``MCommitRequest``
+    round — see ``docs/batching.md`` for the full rule.
     """
 
     detached: FrozenSet[Promise] = frozenset()
     attached: Mapping[Dot, FrozenSet[Promise]] = field(default_factory=dict)
+    committed: FrozenSet[Dot] = frozenset()
 
     def size_bytes(self) -> int:
         attached_count = sum(len(promises) for promises in self.attached.values())
-        return _HEADER_BYTES + _PROMISE_BYTES * (len(self.detached) + attached_count)
+        return (
+            _HEADER_BYTES
+            + _PROMISE_BYTES * (len(self.detached) + attached_count)
+            + _PROMISE_BYTES * len(self.committed)
+        )
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,10 @@ from repro.core.recovery import RecoveryMixin
 
 ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
 
+#: Phases in which a command's commit outcome may only be learnable through
+#: MCommitRequest (committed peers ignore MRec, §B.1).
+_RECOVERY_PHASES = frozenset({Phase.RECOVER_R, Phase.RECOVER_P})
+
 
 class TempoProcess(RecoveryMixin, ProcessBase):
     """A Tempo replica of one partition.
@@ -93,8 +97,19 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._buffered_attached: Dict[Dot, Set[Promise]] = {}
         #: Committed-but-not-executed identifiers and their final timestamps.
         self._committed: Dict[Dot, int] = {}
-        #: Identifiers for which an MCommitRequest was already sent.
-        self._commit_requested: Set[Dot] = set()
+        #: Identifiers for which an MCommitRequest was already sent, mapped
+        #: to whether that request went to every useful peer (``True``) or
+        #: only to the slimmed PAYLOAD-phase target set (``False``).  A
+        #: slimmed request may be upgraded to a broadcast once — e.g. when
+        #: recovery later needs an answer and the original target crashed.
+        self._commit_requested: Dict[Dot, bool] = {}
+        #: Identifiers a promise broadcast reported as committed elsewhere
+        #: (commit-metadata piggyback): the commit broadcast is known to be
+        #: in flight, so no MCommitRequest is needed unless the hint goes
+        #: stale (see _hint_tick).
+        self._commit_hinted: Set[Dot] = set()
+        #: Min-heap of ``(hinted_at, dot)`` backing the hint watchdog.
+        self._hint_watch: List[Tuple[float, Dot]] = []
         #: Min-heap of ``(timestamp, dot)`` for committed identifiers whose
         #: MStable has not been sent yet (drained by stability_check).
         self._commit_heap: List[Tuple[int, Dot]] = []
@@ -490,30 +505,176 @@ class TempoProcess(RecoveryMixin, ProcessBase):
     def _on_promises(self, sender: int, message: MPromises, now: float) -> None:
         """Absorb promises broadcast by a peer (Algorithm 2, line 46)."""
         self.promises.add_all(message.detached)
+        committed_hints = message.committed
         for dot, attached in message.attached.items():
             record = self._info.get(dot)
             if record is not None and record.is_committed:
                 self.promises.add_all(attached)
+                continue
+            self._buffered_attached.setdefault(dot, set()).update(attached)
+            # The commit-metadata piggyback only replaces the request round
+            # for identifiers this process knows nothing about: for those,
+            # a peer reporting the commit proves the commit broadcast is in
+            # flight.  Known identifiers go through _request_commit_info,
+            # which applies the phase-aware debounce (and always requests
+            # for recovery-phase records: committed peers ignore MRec,
+            # §B.1, so MCommitRequest is how recovery learns the outcome).
+            hintable = record is None or record.command is None
+            if hintable and dot in committed_hints:
+                self._note_commit_hint(dot, now)
             else:
-                self._buffered_attached.setdefault(dot, set()).update(attached)
                 self._request_commit_info(dot, now)
         self.stability_check(now)
 
-    def _request_commit_info(self, dot: Dot, now: float) -> None:
-        """Ask peers for the payload/commit of an identifier we only know
-        through attached promises (Algorithm 6, line 96)."""
-        if dot in self._commit_requested:
+    def _note_commit_hint(self, dot: Dot, now: float) -> None:
+        """Record that a peer reported ``dot`` as committed.
+
+        On the common path the peer committed through the coordinator's
+        commit broadcast (or by assembling the fast-quorum acks), so the
+        commit information addressed to this process is already in flight
+        and requesting it again would duplicate the traffic.  That premise
+        can fail — the peer may have fast-path self-committed under a
+        crashed coordinator, or recovered the commit via a point-to-point
+        reply while our copy of the broadcast was lost — so the hint
+        watchdog (:meth:`_hint_tick`) falls back to a forced
+        MCommitRequest once the commit has not arrived within the recovery
+        timeout, trading worst-case commit-info latency (one timeout
+        instead of one RTT, only on those failure paths) for the removed
+        steady-state traffic.
+        """
+        if dot in self._commit_hinted or dot in self._commit_requested:
             return
+        self._commit_hinted.add(dot)
+        heappush(self._hint_watch, (now, dot))
+
+    def _request_commit_info(self, dot: Dot, now: float, force: bool = False) -> None:
+        """Ask peers for the payload/commit of an identifier known only
+        through attached promises (Algorithm 6, line 96).
+
+        Debounced by phase for identifiers whose command is already known
+        and still driven by the normal protocol (``ballot == 0``):
+
+        * ``PROPOSE``: this process is a fast-quorum member and will detect
+          the commit from the ack broadcast itself — never request.
+        * ``PAYLOAD``: the coordinator's MCommit broadcast is on its way,
+          but a fast-quorum member may self-commit (ack broadcast) well
+          before that broadcast arrives here, and its reply is what lets
+          this replica bump its clock early.  Request only from the peers
+          whose reply can actually beat the broadcast — see
+          :meth:`_commit_info_targets`.
+
+        Recovery-phase identifiers always request from every peer:
+        committed peers ignore MRec (§B.1), so MCommitRequest is the only
+        way a stalled recovery learns the outcome.  A dot whose only
+        previous request used the slimmed PAYLOAD target set is allowed
+        one upgrade to such a broadcast, so a crashed slim target can
+        never make the outcome unlearnable.  ``force`` (used by the hint
+        watchdog once a commit hint goes stale) bypasses the debounce.
+        """
         record = self._info.get(dot)
         if record is not None and record.is_committed:
             return
-        self._commit_requested.add(dot)
-        targets = [
-            process for process in self.partition_peers()
-            if process != self.process_id
-        ]
+        targets: Optional[List[int]] = None
+        if (
+            record is not None
+            and not force
+            and record.command is not None
+            and record.phase not in _RECOVERY_PHASES
+        ):
+            if record.phase is Phase.PROPOSE:
+                # Fast-quorum member: the commit arrives via the ack
+                # broadcast, or — when a consensus ballot was accepted —
+                # via the consensus leader's imminent commit broadcast.
+                return
+            if record.phase is Phase.PAYLOAD:
+                if record.ballot != 0:
+                    # Slow path underway: this process accepted (or saw)
+                    # a consensus proposal, so the leader's commit
+                    # broadcast is imminent.
+                    return
+                targets = self._commit_info_targets(record)
+        broadcast = targets is None
+        already_broadcast = self._commit_requested.get(dot)
+        if already_broadcast is not None and (already_broadcast or not broadcast):
+            return
+        if broadcast:
+            targets = [
+                process for process in self.partition_peers()
+                if process != self.process_id
+            ]
+            in_recovery = record is not None and (
+                record.ballot != 0 or record.phase in _RECOVERY_PHASES
+            )
+            if not force and not in_recovery:
+                # Same argument as _commit_info_targets: by the time the
+                # initial coordinator could answer, its own commit
+                # broadcast (which includes this process) is already out.
+                slimmed = [process for process in targets if process != dot.source]
+                if slimmed:
+                    targets = slimmed
+        self._commit_requested[dot] = broadcast
         if targets:
             self.send(targets, MCommitRequest(dot), now)
+
+    def _commit_info_targets(self, record: CommandInfo) -> Optional[List[int]]:
+        """Peers whose commit-info reply can beat the in-flight broadcast.
+
+        For a PAYLOAD-phase identifier the commit will arrive through the
+        coordinator's MCommit broadcast; a request is only useful where the
+        reply can arrive earlier.  The coordinator's own reply never can
+        (it replies only after committing, at which point its broadcast is
+        already out), and a farther process relaying the commit cannot beat
+        a closer one holding it, so the useful targets reduce to the
+        nearest non-coordinator fast-quorum member (the canonical early
+        self-committer) plus any non-quorum peer strictly closer than it
+        (whose own early-learned commit can be relayed faster).  Returns
+        ``None`` when the quorum is unknown, falling back to all peers.
+        """
+        quorum = record.quorums.get(self.partition, ())
+        if not quorum:
+            return None
+        coordinator = quorum[0]
+        distance = self.quorum_system._distance
+        members = [
+            member for member in quorum
+            if member != coordinator and member != self.process_id
+        ]
+        if not members:
+            return None
+        nearest = min(
+            members, key=lambda member: (distance(self.process_id, member), member)
+        )
+        nearest_distance = distance(self.process_id, nearest)
+        quorum_set = set(quorum)
+        targets = [nearest]
+        for peer in self.partition_peers():
+            if peer in quorum_set or peer == self.process_id:
+                continue
+            if distance(self.process_id, peer) < nearest_distance:
+                targets.append(peer)
+        return sorted(targets)
+
+    def _hint_tick(self, now: float) -> None:
+        """Escalate stale commit hints to real MCommitRequests.
+
+        Hints whose identifier has committed are discarded lazily; the
+        oldest still-uncommitted hint only escalates after the recovery
+        timeout, so failure-free runs never send a request for a hinted
+        identifier.
+        """
+        watch = self._hint_watch
+        while watch:
+            hinted_at, dot = watch[0]
+            record = self._info.get(dot)
+            if record is not None and record.is_committed:
+                heappop(watch)
+                self._commit_hinted.discard(dot)
+                continue
+            if now - hinted_at < self.config.recovery_timeout:
+                return
+            heappop(watch)
+            self._commit_hinted.discard(dot)
+            self._request_commit_info(dot, now, force=True)
 
     def _on_commit_request(self, sender: int, message: MCommitRequest, now: float) -> None:
         """Re-send payload and commit information (Algorithm 6, line 86)."""
@@ -537,10 +698,16 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         if not self.tracker.has_pending():
             return
         detached, attached = self.tracker.snapshot(drain=True)
+        committed = set()
+        for dot in attached:
+            record = self._info.get(dot)
+            if record is not None and record.is_committed:
+                committed.add(dot)
         message = MPromises(
             Dot(self.process_id, self.dot_generator.peek().sequence),
             detached=detached,
             attached=attached,
+            committed=frozenset(committed),
         )
         targets = [
             process for process in self.partition_peers()
@@ -621,6 +788,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         if now - self._last_stability_check >= self.config.stability_interval:
             self._last_stability_check = now
             self.stability_check(now)
+        self._hint_tick(now)
         self._recovery_tick(now)
 
     def _recovery_tick(self, now: float) -> None:

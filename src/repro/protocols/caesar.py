@@ -70,6 +70,10 @@ class _DeferredReply:
     dot: Dot
     coordinator: int
     since: float
+    #: Monotonic sequence number preserving the original deferral order, so
+    #: re-evaluation (and therefore the reply order) matches the historical
+    #: single-list scan exactly.
+    sequence: int = 0
 
 
 class CaesarProcess(ProcessBase):
@@ -93,7 +97,13 @@ class CaesarProcess(ProcessBase):
         self.clock = 0
         self._info: Dict[Dot, CaesarInfo] = {}
         self._known_per_key: Dict[str, Set[Dot]] = {}
-        self._deferred: List[_DeferredReply] = []
+        #: Replies delayed by the wait condition, keyed by sequence number
+        #: (insertion-ordered) and indexed by conflicting key: a commit only
+        #: re-evaluates the deferred replies that share a key with the
+        #: committed command, instead of rescanning the whole deferred list.
+        self._deferred: Dict[int, _DeferredReply] = {}
+        self._deferred_by_key: Dict[str, Set[int]] = {}
+        self._deferred_sequence = 0
         #: Min-heap of ``(timestamp, dot)`` over committed-but-unexecuted
         #: commands; its head is the execution candidate (see _try_execute).
         self._commit_heap: List[Tuple[Timestamp, Dot]] = []
@@ -191,10 +201,18 @@ class CaesarProcess(ProcessBase):
         self._register(message.command)
         self.clock = max(self.clock, message.timestamp[0])
         if self._wait_condition_blocks(message.dot, now):
-            self._deferred.append(_DeferredReply(message.dot, sender, now))
-            self.blocked_replies_ever += 1
+            self._defer_reply(message.dot, sender, now)
             return
         self._reply_propose(message.dot, sender, now)
+
+    def _defer_reply(self, dot: Dot, coordinator: int, now: float) -> None:
+        """Park a blocked reply, indexed by every key it conflicts on."""
+        sequence = self._deferred_sequence
+        self._deferred_sequence += 1
+        self._deferred[sequence] = _DeferredReply(dot, coordinator, now, sequence)
+        for key in self._info[dot].command.keys:
+            self._deferred_by_key.setdefault(key, set()).add(sequence)
+        self.blocked_replies_ever += 1
 
     def _wait_condition_blocks(self, dot: Dot, now: float) -> bool:
         """Caesar's wait condition (§3.3).
@@ -255,21 +273,46 @@ class CaesarProcess(ProcessBase):
         heappush(self._commit_heap, (record.timestamp, message.dot))
         self._register(message.command)
         self.clock = max(self.clock, message.timestamp[0])
-        self._flush_deferred(now)
+        self._flush_deferred_for(message.command.keys, now)
         self._try_execute(now)
 
-    def _flush_deferred(self, now: float) -> None:
-        """Re-evaluate replies blocked by the wait condition."""
-        still_blocked: List[_DeferredReply] = []
-        for deferred in self._deferred:
-            record = self._info.get(deferred.dot)
-            if record is None or record.status in ("commit", "execute"):
+    def _flush_deferred_for(self, keys, now: float) -> None:
+        """Re-evaluate the deferred replies conflicting on ``keys``.
+
+        Only a commit can clear the wait condition, and only for deferred
+        commands sharing a key with the committed command, so this replaces
+        the historical full rescan of the deferred list on every commit.
+        Entries are re-evaluated in deferral order, matching the reply
+        order of the full scan exactly.
+        """
+        affected: Set[int] = set()
+        for key in keys:
+            affected.update(self._deferred_by_key.get(key, ()))
+        for sequence in sorted(affected):
+            # A reply can synchronously complete a quorum at a self-
+            # coordinated command and re-enter this method via _on_commit;
+            # entries it resolved are already gone.
+            deferred = self._deferred.get(sequence)
+            if deferred is None:
                 continue
-            if self._wait_condition_blocks(deferred.dot, now):
-                still_blocked.append(deferred)
-            else:
+            record = self._info.get(deferred.dot)
+            resolved = record is None or record.status in ("commit", "execute")
+            if not resolved:
+                if self._wait_condition_blocks(deferred.dot, now):
+                    continue
                 self._reply_propose(deferred.dot, deferred.coordinator, now)
-        self._deferred = still_blocked
+            self._remove_deferred(sequence, deferred)
+
+    def _remove_deferred(self, sequence: int, deferred: _DeferredReply) -> None:
+        del self._deferred[sequence]
+        # Records are never dropped and a reply is only deferred once the
+        # command is known, so the keys are always recoverable.
+        for key in self._info[deferred.dot].command.keys:
+            bucket = self._deferred_by_key.get(key)
+            if bucket is not None:
+                bucket.discard(sequence)
+                if not bucket:
+                    del self._deferred_by_key[key]
 
     # -- execution ---------------------------------------------------------------------
 
@@ -319,7 +362,9 @@ class CaesarProcess(ProcessBase):
             )
 
     def tick(self, now: float) -> None:
-        self._flush_deferred(now)
+        # No deferred flush here: only a commit can clear the wait
+        # condition, and _on_commit already re-evaluates the replies
+        # conflicting with the committed command via the per-key index.
         self._try_execute(now)
 
     # -- introspection -------------------------------------------------------------------

@@ -43,6 +43,16 @@ class DependencyGraph:
         #: dict used as an ordered set).  Kept incrementally so execution
         #: passes never rescan the full node table.
         self._unexecuted: Dict[Dot, None] = {}
+        #: Reverse dependency edges: for each dot, the committed nodes that
+        #: directly depend on it.  Maintained incrementally on commit and
+        #: pruned on execution, so the blocked set can be computed by
+        #: walking only the actually-blocked region instead of running the
+        #: historical O(pending x deps) fixed point on every commit.
+        self._dependents: Dict[Dot, Set[Dot]] = {}
+        #: Uncommitted dots some committed, unexecuted node depends on —
+        #: the sources of all blocking.  When empty, nothing is blocked and
+        #: a commit costs O(deps).
+        self._missing: Set[Dot] = set()
 
     def commit(self, dot: Dot, dependencies: Iterable[Dot], sequence: int = 0) -> bool:
         """Record that ``dot`` committed with the given dependencies.
@@ -51,16 +61,35 @@ class DependencyGraph:
         """
         if dot in self._nodes:
             return False
+        dependencies = frozenset(dependencies)
         self._nodes[dot] = CommittedNode(
-            dot=dot, dependencies=frozenset(dependencies), sequence=sequence
+            dot=dot, dependencies=dependencies, sequence=sequence
         )
         self._unexecuted[dot] = None
+        for dependency in dependencies:
+            if dependency in self._executed:
+                continue
+            self._dependents.setdefault(dependency, set()).add(dot)
+            if dependency not in self._nodes:
+                self._missing.add(dependency)
+        # ``dot`` itself just stopped being a blocking source.
+        self._missing.discard(dot)
         return True
 
     def mark_executed(self, dot: Dot) -> None:
         """Record that ``dot`` was executed."""
         self._executed.add(dot)
         self._unexecuted.pop(dot, None)
+        node = self._nodes.get(dot)
+        if node is not None:
+            for dependency in node.dependencies:
+                bucket = self._dependents.get(dependency)
+                if bucket is not None:
+                    bucket.discard(dot)
+                    if not bucket:
+                        del self._dependents[dependency]
+        # Executed nodes are never blocked, so edges into them are dead.
+        self._dependents.pop(dot, None)
 
     def is_committed(self, dot: Dot) -> bool:
         return dot in self._nodes
@@ -81,6 +110,17 @@ class DependencyGraph:
     def dependencies_of(self, dot: Dot) -> FrozenSet[Dot]:
         node = self._nodes.get(dot)
         return node.dependencies if node is not None else frozenset()
+
+    def missing_dependencies_of(self, dot: Dot) -> FrozenSet[Dot]:
+        """Direct dependencies of ``dot`` that are still uncommitted (the
+        per-node view of the incremental blocking bookkeeping)."""
+        node = self._nodes.get(dot)
+        if node is None:
+            return frozenset()
+        return frozenset(
+            dependency for dependency in node.dependencies
+            if dependency in self._missing
+        )
 
     # -- execution ------------------------------------------------------------
 
@@ -133,25 +173,27 @@ class DependencyGraph:
     def _blocked_set(self, roots: Sequence[Dot]) -> Set[Dot]:
         """Commands that transitively depend on an uncommitted command.
 
-        Computed as a fixed point: a committed, unexecuted command is blocked
-        when one of its dependencies is neither executed nor committed, or is
-        itself blocked.
+        A command is blocked exactly when it can reach an uncommitted
+        dependency through unexecuted committed nodes, so the set is the
+        backward reachability of the ``_missing`` sources over the
+        incrementally maintained reverse-dependency edges.  This walks only
+        the actually-blocked region (and is O(1) when nothing is missing),
+        replacing the historical O(pending x deps) fixed point; the
+        resulting set is the same least fixed point, so the execution order
+        downstream is unchanged.  ``roots`` is kept for API compatibility
+        but no longer consulted: blocked membership is a global property.
         """
         blocked: Set[Dot] = set()
-        candidates = [dot for dot in roots if dot not in self._executed]
-        changed = True
-        while changed:
-            changed = False
-            for dot in candidates:
-                if dot in blocked:
+        if not self._missing:
+            return blocked
+        stack: List[Dot] = list(self._missing)
+        while stack:
+            source = stack.pop()
+            for dependent in self._dependents.get(source, ()):
+                if dependent in blocked or dependent not in self._unexecuted:
                     continue
-                for dependency in self._nodes[dot].dependencies:
-                    if dependency in self._executed:
-                        continue
-                    if not self.is_committed(dependency) or dependency in blocked:
-                        blocked.add(dot)
-                        changed = True
-                        break
+                blocked.add(dependent)
+                stack.append(dependent)
         return blocked
 
     def _tarjan(

@@ -10,5 +10,13 @@ simulator, and the integration tests use it to exercise concurrency.
 
 from repro.runtime.cluster import AsyncCluster, AsyncClusterOptions
 from repro.runtime.channel import Channel, Router
+from repro.runtime.virtual_clock import VirtualClockEventLoop, run_with_virtual_clock
 
-__all__ = ["AsyncCluster", "AsyncClusterOptions", "Channel", "Router"]
+__all__ = [
+    "AsyncCluster",
+    "AsyncClusterOptions",
+    "Channel",
+    "Router",
+    "VirtualClockEventLoop",
+    "run_with_virtual_clock",
+]

@@ -54,6 +54,17 @@ class Router:
     def channel(self, endpoint: int) -> Optional[Channel]:
         return self._channels.get(endpoint)
 
+    def reset(self) -> None:
+        """Recreate every channel's queue.
+
+        ``asyncio.Queue`` binds to the first loop that awaits it, so a
+        cluster restarting under a fresh event loop needs fresh queues.
+        Undelivered messages are dropped, which the crash-stop/fair-lossy
+        link model permits.
+        """
+        for channel in self._channels.values():
+            channel.queue = asyncio.Queue()
+
     def crash(self, endpoint: int) -> None:
         self._crashed.add(endpoint)
 

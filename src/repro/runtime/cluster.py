@@ -76,7 +76,16 @@ class AsyncCluster:
         self._pending_replies: Dict[Dot, asyncio.Future] = {}
         self._client_endpoint = -1
         self.router.register(self._client_endpoint)
-        self._start_time = time.monotonic()
+        #: Millisecond clock based on the event loop's time so the cluster
+        #: works unchanged on a virtual-clock loop
+        #: (:mod:`repro.runtime.virtual_clock`).  Bound lazily because the
+        #: cluster may be constructed before any loop is running; falls
+        #: back to ``time.monotonic`` outside a loop.
+        self._time_fn = None
+        self._start_time = 0.0
+        #: Loop the cluster last started under; a restart under a different
+        #: loop resets the router channels (see :meth:`start`).
+        self._loop = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -84,6 +93,14 @@ class AsyncCluster:
         """Start one task per process plus the client-reply dispatcher."""
         if self._running:
             return
+        loop = asyncio.get_running_loop()
+        if self._loop is not None and loop is not self._loop:
+            # Restarted under a different loop (e.g. a second
+            # run_with_virtual_clock call): the old loop's queues are
+            # unusable, so give every endpoint a fresh inbox.
+            self.router.reset()
+        self._loop = loop
+        self._rebind_clock()
         self._running = True
         for process in self.processes:
             self._tasks.append(asyncio.create_task(self._run_process(process)))
@@ -106,8 +123,31 @@ class AsyncCluster:
 
     # -- process loop ---------------------------------------------------------------
 
+    def _rebind_clock(self) -> None:
+        """(Re)bind the millisecond clock to the current loop's time.
+
+        A cluster may be stopped and started again under a different event
+        loop (each ``run_with_virtual_clock`` call creates a fresh one);
+        the rebinding preserves the already-elapsed cluster time so
+        ``_now_ms`` stays monotonic across restarts.
+        """
+        try:
+            loop_time = asyncio.get_running_loop().time
+        except RuntimeError:
+            loop_time = time.monotonic
+        # Bound-method equality: same loop (or same module function) only.
+        if self._time_fn == loop_time:
+            return
+        elapsed = 0.0
+        if self._time_fn is not None:
+            elapsed = self._time_fn() - self._start_time
+        self._time_fn = loop_time
+        self._start_time = loop_time() - elapsed
+
     def _now_ms(self) -> float:
-        return (time.monotonic() - self._start_time) * 1000.0
+        if self._time_fn is None:
+            self._rebind_clock()
+        return (self._time_fn() - self._start_time) * 1000.0
 
     async def _flush(self, process: ProcessBase) -> None:
         for envelope in process.drain_outbox():

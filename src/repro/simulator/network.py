@@ -10,8 +10,9 @@ protocols assume fair-lossy links, which periodic re-broadcast copes with.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.base import MBatch
 from repro.simulator.latency import LatencyMatrix
 from repro.simulator.rng import SeededRng
 
@@ -41,6 +42,10 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
+    #: Number of multi-message deliveries produced by :meth:`transmit_batch`.
+    #: All per-message counters above count the *inner* messages, so batching
+    #: never changes them.
+    batches_sent: int = 0
     per_kind: Dict[str, int] = field(default_factory=dict)
 
 
@@ -125,21 +130,8 @@ class Network:
             return False
         return self.rng.uniform() < self.options.drop_probability
 
-    def transmit(
-        self,
-        sender: int,
-        destination: int,
-        message: object,
-        now: float,
-        deliver: Callable[[float, int, int, object], None],
-    ) -> Optional[float]:
-        """Route one message.
-
-        ``deliver(at, sender, destination, message)`` is invoked (typically
-        it schedules a simulator event) unless the message is dropped or the
-        destination has crashed.  Returns the delivery time, or ``None`` when
-        the message will never arrive.
-        """
+    def _count_message(self, message: object) -> None:
+        """Account for one logical message in the stats counters."""
         stats = self.stats
         stats.messages_sent += 1
         message_type = message.__class__
@@ -155,10 +147,73 @@ class Network:
         per_kind[kind] = per_kind.get(kind, 0) + 1
         if size_method is not None:
             stats.bytes_sent += int(size_method(message))
+
+    def transmit(
+        self,
+        sender: int,
+        destination: int,
+        message: object,
+        now: float,
+        deliver: Callable[[float, int, int, object], None],
+    ) -> Optional[float]:
+        """Route one message.
+
+        ``deliver(at, sender, destination, message)`` is invoked (typically
+        it schedules a simulator event) unless the message is dropped or the
+        destination has crashed.  Returns the delivery time, or ``None`` when
+        the message will never arrive.
+        """
+        self._count_message(message)
         if destination in self._crashed or self.should_drop():
-            stats.messages_dropped += 1
+            self.stats.messages_dropped += 1
             return None
         at = now + self.delay(sender, destination)
         deliver(at, sender, destination, message)
-        stats.messages_delivered += 1
+        self.stats.messages_delivered += 1
+        return at
+
+    def transmit_batch(
+        self,
+        sender: int,
+        destination: int,
+        messages: Sequence[object],
+        now: float,
+        deliver: Callable[[float, int, int, object], None],
+    ) -> Optional[float]:
+        """Route several messages to one destination as one delivery.
+
+        Stats, crash handling and loss injection are applied per inner
+        message, in order, exactly as ``len(messages)`` calls to
+        :meth:`transmit` would.  On a deterministic network (no jitter) all
+        surviving messages share one delivery time, so they are delivered as
+        a single :class:`repro.core.base.MBatch` — one simulator event
+        instead of one per message.  With jitter enabled each message keeps
+        its own per-transmission delay draw and its own delivery, preserving
+        the unbatched behaviour bit for bit.  Returns the batch delivery
+        time (``None`` when nothing survived or jitter forced the
+        per-message path).
+        """
+        stats = self.stats
+        crashed = destination in self._crashed
+        jittery = bool(self.options.jitter_ms)
+        survivors: List[object] = []
+        for message in messages:
+            self._count_message(message)
+            if crashed or self.should_drop():
+                stats.messages_dropped += 1
+                continue
+            if jittery:
+                deliver(now + self.delay(sender, destination), sender, destination, message)
+                stats.messages_delivered += 1
+            else:
+                survivors.append(message)
+        if not survivors:
+            return None
+        at = now + self._base_delay(sender, destination)
+        if len(survivors) == 1:
+            deliver(at, sender, destination, survivors[0])
+        else:
+            deliver(at, sender, destination, MBatch(tuple(survivors)))
+            stats.batches_sent += 1
+        stats.messages_delivered += len(survivors)
         return at

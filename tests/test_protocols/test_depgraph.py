@@ -73,6 +73,17 @@ class TestBasicExecution:
         graph.commit(dot(2, 1), [dot(0, 1), dot(3, 1)])
         assert graph.largest_pending_component() == 3
 
+    def test_missing_dependencies_track_commits_incrementally(self):
+        graph = DependencyGraph()
+        graph.commit(dot(0, 1), [dot(1, 1), dot(2, 1)])
+        assert graph.missing_dependencies_of(dot(0, 1)) == {dot(1, 1), dot(2, 1)}
+        graph.commit(dot(1, 1), [])
+        assert graph.missing_dependencies_of(dot(0, 1)) == {dot(2, 1)}
+        graph.commit(dot(2, 1), [])
+        assert graph.missing_dependencies_of(dot(0, 1)) == frozenset()
+        # Transitive blocking resolves in the same step.
+        assert graph.execute_ready() == [dot(1, 1), dot(2, 1), dot(0, 1)]
+
 
 class TestExecutor:
     def test_executor_records_order_and_component_sizes(self):

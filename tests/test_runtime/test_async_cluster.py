@@ -1,4 +1,10 @@
-"""Integration tests for the asyncio runtime."""
+"""Integration tests for the asyncio runtime.
+
+All scenarios run on the virtual-clock event loop
+(:mod:`repro.runtime.virtual_clock`): tick timeouts and ``asyncio.sleep``
+advance virtual time instantly, so the tests are deterministic and take
+milliseconds of wall time regardless of the simulated durations.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +12,12 @@ import asyncio
 
 import pytest
 
-from repro.runtime import AsyncCluster, AsyncClusterOptions
+from repro.runtime import AsyncCluster, AsyncClusterOptions, run_with_virtual_clock
 from repro.runtime.channel import Channel, Router
 
 
 def run(coro):
-    return asyncio.run(coro)
+    return run_with_virtual_clock(coro)
 
 
 class TestRouter:
@@ -85,6 +91,7 @@ class TestAsyncCluster:
         assert agree
         assert all(count == 9 for count in counts.values())
 
+
     def test_executions_match_across_replicas_with_latency(self):
         async def scenario():
             options = AsyncClusterOptions(
@@ -102,6 +109,25 @@ class TestAsyncCluster:
         orders = run(scenario())
         assert len(orders) == 1
 
+    def test_larger_scenario_fits_in_the_virtual_time_budget(self):
+        """A workload that would take seconds of wall time on the real
+        clock (25 commands x 2ms injected latency x several hops) completes
+        instantly under the virtual clock."""
+
+        async def scenario():
+            options = AsyncClusterOptions(
+                protocol="tempo", num_processes=5, faults=2, latency_seconds=0.002
+            )
+            async with AsyncCluster(options) as cluster:
+                await cluster.submit_many([[f"k{index % 7}"] for index in range(25)])
+                await asyncio.sleep(0.5)
+                counts = cluster.executed_counts()
+                return counts, cluster.stores_agree()
+
+        counts, agree = run(scenario())
+        assert agree
+        assert all(count == 25 for count in counts.values())
+
     def test_cluster_can_be_restarted(self):
         async def scenario():
             cluster = AsyncCluster(AsyncClusterOptions(num_processes=3))
@@ -114,3 +140,66 @@ class TestAsyncCluster:
             return True
 
         assert run(scenario())
+
+
+class TestVirtualClock:
+    def test_long_sleeps_cost_no_wall_time(self):
+        import time
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            await asyncio.sleep(60.0)
+            return loop.time() - before
+
+        start = time.monotonic()
+        elapsed_virtual = run(scenario())
+        assert elapsed_virtual >= 60.0
+        assert time.monotonic() - start < 5.0
+
+    def test_wait_for_timeouts_fire_in_virtual_time(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            try:
+                await asyncio.wait_for(asyncio.get_event_loop().create_future(), timeout=2.0)
+            except asyncio.TimeoutError:
+                return loop.time() - before
+            return None
+
+        elapsed = run(scenario())
+        assert elapsed is not None and elapsed >= 2.0
+
+    def test_cluster_restarts_across_distinct_loops(self):
+        """Each run_with_virtual_clock call creates a fresh loop; the
+        cluster clock must rebind on start so time keeps advancing."""
+        cluster = AsyncCluster(AsyncClusterOptions(num_processes=3))
+
+        async def round_trip():
+            async with cluster:
+                reply = await cluster.submit(["x"])
+                return reply is not None, cluster._now_ms()
+
+        first_ok, first_now = run(round_trip())
+        second_ok, second_now = run(round_trip())
+        assert first_ok and second_ok
+        assert second_now >= first_now
+
+    def test_ready_work_drains_before_time_advances(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            order = []
+
+            async def worker():
+                order.append(("worker", loop.time()))
+
+            task = asyncio.ensure_future(worker())
+            await asyncio.sleep(1.0)
+            order.append(("sleeper", loop.time()))
+            await task
+            return order
+
+        order = run(scenario())
+        # The ready worker ran before the clock jumped to the sleep deadline.
+        assert order[0][0] == "worker"
+        assert order[0][1] < order[1][1]

@@ -1,0 +1,174 @@
+"""Tests of the same-destination message batching layer.
+
+Covers the MBatch envelope semantics: send order is preserved inside a
+batch, batches never span more than one event-handling step, stats count
+inner messages, and jitter/drop injection falls back to per-message
+behaviour.  The message-traffic regression test for the commit-request
+debounce lives in ``tests/test_experiments/test_message_traffic.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import MBatch, ProcessBase
+from repro.core.config import ProtocolConfig
+from repro.simulator.events import EventKind
+from repro.simulator.latency import uniform_latency_matrix
+from repro.simulator.network import Network, NetworkOptions
+from repro.simulator.rng import SeededRng
+from repro.simulator.sim import Simulation, SimulationOptions
+
+
+class RecordingProcess(ProcessBase):
+    """Counts deliveries and can emit scripted envelopes."""
+
+    def __init__(self, process_id, config):
+        super().__init__(process_id, config)
+        self.seen = []
+        self.to_send = []
+
+    def submit(self, command, now=0.0):
+        # A submission is the scripted "send several messages" step.
+        for destinations, message in self.to_send:
+            self.send(destinations, message, now)
+        self.to_send = []
+
+    def on_message(self, sender, message, now):
+        self.seen.append((sender, message, now))
+
+
+def build(num_processes=3, **network_options):
+    config = ProtocolConfig(num_processes=num_processes, faults=1)
+    processes = [
+        RecordingProcess(process_id, config) for process_id in range(num_processes)
+    ]
+    sites = [chr(ord("a") + index) for index in range(num_processes)]
+    matrix = uniform_latency_matrix(sites, one_way_ms=10.0)
+    network = Network(matrix, NetworkOptions(**network_options), rng=SeededRng(7))
+    for process_id, site in zip(range(num_processes), sites):
+        network.place(process_id, site)
+    simulation = Simulation(
+        processes, network, SimulationOptions(tick_interval=1000.0, max_time=10_000.0)
+    )
+    return processes, simulation
+
+
+class TestBatchDelivery:
+    def test_same_destination_messages_coalesce_into_one_event(self):
+        processes, simulation = build()
+        processes[0].to_send = [([1], "m1"), ([1], "m2"), ([1], "m3")]
+        simulation.submit_at(0.0, 0, None)
+        simulation.run(until=50.0)
+        # One MESSAGE event carried all three messages...
+        assert simulation.network.stats.batches_sent == 1
+        assert simulation.network.stats.messages_sent == 3
+        # ...and dispatch preserved the send order at one instant.
+        assert [message for _, message, _ in processes[1].seen] == ["m1", "m2", "m3"]
+        assert len({now for _, _, now in processes[1].seen}) == 1
+
+    def test_batches_group_per_destination(self):
+        processes, simulation = build()
+        processes[0].to_send = [([1], "a1"), ([2], "b1"), ([1], "a2"), ([2], "b2")]
+        simulation.submit_at(0.0, 0, None)
+        simulation.run(until=50.0)
+        assert [message for _, message, _ in processes[1].seen] == ["a1", "a2"]
+        assert [message for _, message, _ in processes[2].seen] == ["b1", "b2"]
+        assert simulation.network.stats.batches_sent == 2
+
+    def test_batches_never_cross_an_event_boundary(self):
+        processes, simulation = build()
+        # Two separate submission events, each sending to the same
+        # destination: the messages of different steps must arrive as two
+        # deliveries (same in-flight latency, distinct send steps).
+        processes[0].to_send = [([1], "step1-a"), ([1], "step1-b")]
+        simulation.submit_at(0.0, 0, None)
+        simulation.run(until=5.0)
+        processes[0].to_send = [([1], "step2-a"), ([1], "step2-b")]
+        simulation.submit_at(6.0, 0, None)
+        simulation.run(until=50.0)
+        times = [now for _, _, now in processes[1].seen]
+        assert [message for _, message, _ in processes[1].seen] == [
+            "step1-a", "step1-b", "step2-a", "step2-b",
+        ]
+        assert times[0] == times[1] < times[2] == times[3]
+        assert simulation.network.stats.batches_sent == 2
+
+    def test_single_message_is_not_wrapped(self):
+        processes, simulation = build()
+        processes[0].to_send = [([1], "solo")]
+        simulation.submit_at(0.0, 0, None)
+        simulation.run(until=50.0)
+        assert simulation.network.stats.batches_sent == 0
+        assert processes[1].seen[0][1] == "solo"
+
+    def test_deliver_counts_inner_messages(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        process = RecordingProcess(1, config)
+        process.deliver(0, MBatch(("x", "y")), 1.0)
+        assert process.message_counts == {"str": 2}
+        assert [message for _, message, _ in process.seen] == ["x", "y"]
+
+    def test_crashed_process_drops_whole_batch(self):
+        config = ProtocolConfig(num_processes=3, faults=1)
+        process = RecordingProcess(1, config)
+        process.crash()
+        process.deliver(0, MBatch(("x", "y")), 1.0)
+        assert process.seen == []
+        assert process.message_counts == {}
+
+
+class TestBatchNetworkSemantics:
+    def test_jitter_falls_back_to_per_message_delivery(self):
+        deliveries = []
+        processes, simulation = build(jitter_ms=5.0)
+        network = simulation.network
+        network.transmit_batch(
+            0, 1, ["m1", "m2", "m3"], 0.0,
+            lambda at, sender, destination, message: deliveries.append((at, message)),
+        )
+        # Three separate deliveries, no MBatch wrapper, distinct jitter draws.
+        assert len(deliveries) == 3
+        assert all(not isinstance(message, MBatch) for _, message in deliveries)
+        assert network.stats.batches_sent == 0
+        assert len({at for at, _ in deliveries}) > 1
+
+    def test_drops_are_applied_per_message(self):
+        deliveries = []
+        processes, simulation = build(drop_probability=0.5)
+        network = simulation.network
+        network.transmit_batch(
+            0, 1, [f"m{index}" for index in range(32)], 0.0,
+            lambda at, sender, destination, message: deliveries.append(message),
+        )
+        stats = network.stats
+        assert stats.messages_sent == 32
+        assert 0 < stats.messages_dropped < 32
+        survivors = (
+            list(deliveries[0].messages)
+            if len(deliveries) == 1 and isinstance(deliveries[0], MBatch)
+            else deliveries
+        )
+        assert stats.messages_delivered == len(survivors)
+        # Order of survivors is the send order.
+        assert survivors == sorted(survivors, key=lambda m: int(m[1:]))
+
+    def test_crashed_destination_counts_every_message_dropped(self):
+        processes, simulation = build()
+        network = simulation.network
+        network.crash(1)
+        result = network.transmit_batch(
+            0, 1, ["m1", "m2"], 0.0, lambda *args: (_ for _ in ()).throw(AssertionError)
+        )
+        assert result is None
+        assert network.stats.messages_dropped == 2
+
+    def test_external_endpoints_receive_unpacked_messages(self):
+        processes, simulation = build()
+        received = []
+        simulation.network.place(-1, "a")
+        simulation.register_external(
+            -1, lambda sender, message, now: received.append(message)
+        )
+        processes[0].to_send = [([-1], "r1"), ([-1], "r2")]
+        simulation.submit_at(0.0, 0, None)
+        simulation.run(until=50.0)
+        assert received == ["r1", "r2"]
