@@ -48,6 +48,9 @@ class ExperimentResult:
     per_site_throughput: Dict[str, float] = field(default_factory=dict)
     fast_path_ratio: Optional[float] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    #: The deployment the run executed on (processes, network, stores),
+    #: kept so tests can assert on internal protocol state post-run.
+    deployment: Optional[object] = field(default=None, repr=False)
 
     def mean_latency(self) -> float:
         return self.latency.mean()
@@ -251,6 +254,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         submitted=submitted,
         per_site_throughput=throughput.ops_per_second_per_site(),
         stats=stats,
+        deployment=deployment,
     )
     for observer in EXPERIMENT_OBSERVERS:
         observer(config, result)

@@ -64,6 +64,14 @@ class Command:
             raise ValueError("a command must access at least one key")
         if self.payload_size < 0:
             raise ValueError("payload_size must be non-negative")
+        # Both are immutable functions of ``ops`` and sit on the conflict-
+        # computation hot path of every dependency-based protocol.
+        object.__setattr__(
+            self, "_keys", frozenset(op.key for op in self.ops)
+        )
+        object.__setattr__(
+            self, "_read_only", all(op.is_read() for op in self.ops)
+        )
 
     @classmethod
     def write(
@@ -92,11 +100,11 @@ class Command:
     @property
     def keys(self) -> FrozenSet[str]:
         """Set of keys this command accesses."""
-        return frozenset(op.key for op in self.ops)
+        return self._keys
 
     def is_read_only(self) -> bool:
         """True when every operation of the command is a read."""
-        return all(op.is_read() for op in self.ops)
+        return self._read_only
 
     def has_write(self) -> bool:
         return any(op.is_write() for op in self.ops)

@@ -11,7 +11,7 @@ recovery protocol's ``initial_p(id)`` function extracts (Algorithm 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Dict, Iterator, List
 
 
 @dataclass(frozen=True, order=True)
@@ -33,6 +33,10 @@ class Dot:
             raise ValueError(f"dot sequence must be >= 1, got {self.sequence}")
         if self.source < 0:
             raise ValueError(f"dot source must be >= 0, got {self.source}")
+        # Collision-free for source < 64; hot enough (set/dict membership in
+        # the simulator and the dependency graphs) that computing it once
+        # here instead of on every __hash__ call is measurable.
+        object.__setattr__(self, "_hash", self.sequence * 64 + self.source)
 
     def initial_coordinator(self) -> int:
         """Return the process that initially coordinated this command."""
@@ -43,13 +47,12 @@ class Dot:
 
 
 def _dot_hash(self: Dot) -> int:
-    # Collision-free for source < 64; hot enough (set/dict membership in the
-    # simulator and the dependency graphs) that avoiding the generated
-    # hash((source, sequence)) tuple allocation is measurable.
-    return self.sequence * 64 + self.source
+    return self._hash
 
 
 def _dot_eq(self: Dot, other: object):
+    if other is self:
+        return True
     if other.__class__ is Dot:
         return self.source == other.source and self.sequence == other.sequence
     return NotImplemented
@@ -59,11 +62,48 @@ Dot.__hash__ = _dot_hash  # type: ignore[assignment]
 Dot.__eq__ = _dot_eq  # type: ignore[assignment]
 
 
+#: Global intern table, keyed by source.  Each per-source entry is the list
+#: of interned dots for sequences ``1..len(entry)`` (dense by construction:
+#: generators mint sequences in order, and out-of-order lookups fall back to
+#: a fresh instance without widening the table).
+_INTERN: Dict[int, List[Dot]] = {}
+
+
+def intern_dot(source: int, sequence: int) -> Dot:
+    """Return the canonical :class:`Dot` for ``(source, sequence)``.
+
+    Repeatedly materialising the same identifier (``peek`` followed by
+    ``next_id``, recovery re-deriving ``initial_p(id)``, tests) otherwise
+    allocates distinct-but-equal objects; sharing one instance lets the
+    hot set/dict probes short-circuit on identity before falling back to
+    field comparison.  Validation lives in ``Dot.__post_init__`` and still
+    applies to every interned identifier.
+    """
+    index = sequence - 1
+    if index < 0 or source < 0:
+        # Delegate to the constructor, which raises the validation error.
+        return Dot(source, sequence)
+    table = _INTERN.get(source)
+    if table is None:
+        table = _INTERN[source] = []
+    if index < len(table):
+        return table[index]
+    if index == len(table):
+        dot = Dot(source, sequence)
+        table.append(dot)
+        return dot
+    # Sparse lookup (e.g. peeking far ahead): don't pad the table.
+    return Dot(source, sequence)
+
+
 @dataclass
 class DotGenerator:
     """Generates fresh :class:`Dot` identifiers for a single process.
 
     The generator is deterministic, which keeps simulation runs reproducible.
+    Identifiers are interned in a per-source table shared with
+    :func:`intern_dot`, so every materialisation of the same ``(source,
+    sequence)`` pair yields the same object.
     """
 
     source: int
@@ -71,14 +111,14 @@ class DotGenerator:
 
     def next_id(self) -> Dot:
         """Return a fresh identifier; never returns the same dot twice."""
-        dot = Dot(self.source, self._next)
+        dot = intern_dot(self.source, self._next)
         self._next += 1
         return dot
 
     def peek(self) -> Dot:
         """Return the identifier :meth:`next_id` would produce, without
         consuming it."""
-        return Dot(self.source, self._next)
+        return intern_dot(self.source, self._next)
 
     def generated(self) -> int:
         """Number of identifiers generated so far."""

@@ -126,6 +126,9 @@ class MCommit(Message):
 class MConsensus(Message):
     """Flexible-Paxos phase-2 message on the slow path / during recovery."""
 
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 16
+
     timestamp: int
     ballot: int
 
@@ -137,6 +140,9 @@ class MConsensus(Message):
 class MConsensusAck(Message):
     """Acceptance of an :class:`MConsensus` proposal."""
 
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
+
     ballot: int
 
     def size_bytes(self) -> int:
@@ -147,6 +153,9 @@ class MConsensusAck(Message):
 class MBump(Message):
     """Fast-quorum process -> co-located replicas of the other partitions:
     bump their clocks to this proposal (multi-partition optimisation, §4)."""
+
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
 
     timestamp: int
 
@@ -186,6 +195,9 @@ class MPromises(Message):
 class MStable(Message):
     """Per-partition stability notification for a multi-partition command."""
 
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 4
+
     partition: int = 0
 
     def size_bytes(self) -> int:
@@ -195,6 +207,9 @@ class MStable(Message):
 @dataclass(frozen=True)
 class MRec(Message):
     """Recovery phase-1 message (Algorithm 4)."""
+
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
 
     ballot: int
 
@@ -206,6 +221,9 @@ class MRec(Message):
 class MRecAck(Message):
     """Reply to :class:`MRec` carrying the local timestamp, phase and the
     ballot at which a consensus value was last accepted."""
+
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 24
 
     timestamp: int
     phase: Phase
@@ -221,6 +239,9 @@ class MRecNAck(Message):
     """Negative acknowledgement telling the recovering leader to retry with a
     higher ballot (Algorithm 6, liveness mechanism)."""
 
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
+
     ballot: int
 
     def size_bytes(self) -> int:
@@ -231,6 +252,9 @@ class MRecNAck(Message):
 class MCommitRequest(Message):
     """Ask a process that already committed ``dot`` to re-send its payload
     and commit information (Algorithm 6, liveness mechanism)."""
+
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES
@@ -249,6 +273,9 @@ class ClientSubmit(Message):
 @dataclass(frozen=True)
 class ClientReply(Message):
     """Process -> client: the command was executed; return values omitted."""
+
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 16
 
     result: Optional[Dict[str, Optional[str]]] = None
 

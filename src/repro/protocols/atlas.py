@@ -13,7 +13,7 @@ Atlas differs from EPaxos in two ways that matter for the evaluation (§6):
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.core.identifiers import Dot
 from repro.protocols.dependency import DependencyProtocolProcess
@@ -47,10 +47,13 @@ class AtlasProcess(DependencyProtocolProcess):
         """
         if self.config.faults == 1:
             return True
-        for dependency in union_deps:
-            reported_by = sum(
-                1 for deps, _ in acks.values() if dependency in deps
-            )
-            if reported_by < self.config.faults:
-                return False
-        return True
+        # ``levels[k]`` accumulates the dependencies reported by at least
+        # ``k + 1`` fast-quorum members; set algebra keeps the check
+        # O(total reported deps) instead of O(union x quorum) per command.
+        faults = self.config.faults
+        levels: List[Set[Dot]] = [set() for _ in range(faults)]
+        for deps, _ in acks.values():
+            for level in range(faults - 1, 0, -1):
+                levels[level] |= levels[level - 1] & deps
+            levels[0] |= deps
+        return union_deps <= levels[faults - 1]

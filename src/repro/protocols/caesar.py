@@ -61,6 +61,10 @@ class CaesarInfo:
     submitted_here: bool = False
     submitted_at: Optional[float] = None
     committed_at: Optional[float] = None
+    #: Dependencies not yet executed here (populated at commit time);
+    #: the stability check walks only this live remainder instead of the
+    #: full history-sized dependency set.
+    live_deps: Optional[Set[Dot]] = None
 
 
 @dataclass
@@ -96,7 +100,21 @@ class CaesarProcess(ProcessBase):
         self.dot_generator = DotGenerator(process_id)
         self.clock = 0
         self._info: Dict[Dot, CaesarInfo] = {}
+        #: Per-key set of *live* (known but not yet committed) commands —
+        #: the only ones the wait condition can block on.  Pruned on commit,
+        #: so its peak size is bounded by in-flight commands.
         self._known_per_key: Dict[str, Set[Dot]] = {}
+        #: Per-key archive of committed/executed commands and their final
+        #: timestamps.  Dependency collection unions it back in, so pruning
+        #: the live sets never changes an emitted dependency set.
+        self._committed_per_key: Dict[str, Dict[Dot, Timestamp]] = {}
+        #: Dots executed at this replica (status "execute"), kept as a set
+        #: so commit-time stability bookkeeping can subtract the executed
+        #: history in one C-level operation.
+        self._executed_dots: Set[Dot] = set()
+        #: High-water mark over the per-key live sets, the boundedness
+        #: witness used by the pruning regression tests.
+        self.peak_live_per_key = 0
         #: Replies delayed by the wait condition, keyed by sequence number
         #: (insertion-ordered) and indexed by conflicting key: a commit only
         #: re-evaluates the deferred replies that share a key with the
@@ -144,15 +162,29 @@ class CaesarProcess(ProcessBase):
         return (self.clock, self.config.rank_in_partition(self.process_id))
 
     def _register(self, command: Command) -> None:
+        """Track a not-yet-committed command in the live per-key sets."""
+        dot = command.dot
+        committed = self._committed_per_key
         for key in command.keys:
-            self._known_per_key.setdefault(key, set()).add(command.dot)
+            if dot in committed.get(key, ()):
+                continue
+            live = self._known_per_key.setdefault(key, set())
+            live.add(dot)
+            if len(live) > self.peak_live_per_key:
+                self.peak_live_per_key = len(live)
 
-    def _conflicting(self, command: Command) -> Set[Dot]:
-        conflicting: Set[Dot] = set()
+    def _register_committed(self, command: Command, timestamp: Timestamp) -> None:
+        """Move a command from the live sets into the committed archive."""
+        dot = command.dot
+        known = self._known_per_key
+        committed = self._committed_per_key
         for key in command.keys:
-            conflicting.update(self._known_per_key.get(key, set()))
-        conflicting.discard(command.dot)
-        return conflicting
+            live = known.get(key)
+            if live is not None:
+                live.discard(dot)
+                if not live:
+                    del known[key]
+            committed.setdefault(key, {})[dot] = timestamp
 
     def _fast_quorum(self) -> List[int]:
         members = self.config.processes_of_partition(self.partition)
@@ -225,26 +257,44 @@ class CaesarProcess(ProcessBase):
         record = self._info[dot]
         if record.command is None:
             return False
-        for other_dot in self._conflicting(record.command):
-            other = self._info.get(other_dot)
-            if other is None or other.command is None:
-                continue
-            if other.status in ("commit", "execute"):
-                continue
-            if other.timestamp > record.timestamp:
-                return True
+        info = self._info
+        known = self._known_per_key
+        timestamp = record.timestamp
+        for key in record.command.keys:
+            # Only live (uncommitted) commands can block, so the scan is
+            # bounded by in-flight commands rather than the key's history.
+            for other_dot in known.get(key, ()):
+                if other_dot == dot:
+                    continue
+                other = info.get(other_dot)
+                if other is None or other.command is None:
+                    continue
+                if other.timestamp > timestamp:
+                    return True
         return False
 
     def _reply_propose(self, dot: Dot, coordinator: int, now: float) -> None:
         record = self._info[dot]
-        dependencies = frozenset(
-            other_dot
-            for other_dot in self._conflicting(record.command)
-            if self._info.get(other_dot) is not None
-            and self._info[other_dot].timestamp < record.timestamp
-            and self._info[other_dot].timestamp != (0, 0)
-        )
-        ack = MCaesarProposeAck(dot, record.timestamp, dependencies, accepted=True)
+        info = self._info
+        known = self._known_per_key
+        committed = self._committed_per_key
+        timestamp = record.timestamp
+        zero = (0, 0)
+        dependencies: Set[Dot] = set()
+        for key in record.command.keys:
+            # Committed conflicts come from the archive with their final
+            # timestamps; live conflicts still consult their records.
+            for other_dot, other_timestamp in committed.get(key, {}).items():
+                if other_timestamp < timestamp:
+                    dependencies.add(other_dot)
+            for other_dot in known.get(key, ()):
+                if other_dot == dot:
+                    continue
+                other = info.get(other_dot)
+                if other is not None and zero != other.timestamp < timestamp:
+                    dependencies.add(other_dot)
+        dependencies.discard(dot)
+        ack = MCaesarProposeAck(dot, timestamp, frozenset(dependencies), accepted=True)
         self.send([coordinator], ack, now)
 
     def _on_propose_ack(self, sender: int, message: MCaesarProposeAck, now: float) -> None:
@@ -270,8 +320,13 @@ class CaesarProcess(ProcessBase):
         record.dependencies = message.dependencies
         record.status = "commit"
         record.committed_at = now
+        # Stability only ever has to look at the dependencies that are not
+        # yet executed here; the executed history is subtracted once, now.
+        record.live_deps = set(message.dependencies - self._executed_dots)
+        if record.acks:
+            record.acks = {}
         heappush(self._commit_heap, (record.timestamp, message.dot))
-        self._register(message.command)
+        self._register_committed(message.command, message.timestamp)
         self.clock = max(self.clock, message.timestamp[0])
         self._flush_deferred_for(message.command.keys, now)
         self._try_execute(now)
@@ -340,17 +395,48 @@ class CaesarProcess(ProcessBase):
             self._execute(dot, record, now)
 
     def _is_stable(self, record: CaesarInfo) -> bool:
-        for dependency in record.dependencies:
-            other = self._info.get(dependency)
-            if other is None or other.status not in ("commit", "execute"):
-                return False
-            if other.timestamp < record.timestamp and other.status != "execute":
-                return False
-        return True
+        live = record.live_deps
+        if live is None:
+            # Not committed here yet (only reachable from tests poking at
+            # uncommitted records): fall back to the full dependency scan.
+            live = record.live_deps = set(
+                record.dependencies - self._executed_dots
+            )
+        if not live:
+            return True
+        info = self._info
+        timestamp = record.timestamp
+        settled: List[Dot] = []
+        stable = True
+        for dependency in live:
+            other = info.get(dependency)
+            if other is None:
+                stable = False
+                break
+            status = other.status
+            if status == "execute":
+                # Permanently satisfied; drop it from the live remainder.
+                settled.append(dependency)
+                continue
+            if status != "commit":
+                stable = False
+                break
+            if other.timestamp < timestamp:
+                # Committed with a smaller timestamp but not yet executed:
+                # still unstable, and must stay live until it executes.
+                stable = False
+                break
+            # Committed with a larger (final) timestamp: satisfied forever.
+            settled.append(dependency)
+        for dependency in settled:
+            live.discard(dependency)
+        return stable
 
     def _execute(self, dot: Dot, record: CaesarInfo, now: float) -> None:
         result = self.apply_fn(record.command) if self.apply_fn else None
         record.status = "execute"
+        self._executed_dots.add(dot)
+        record.live_deps = None
         self.record_execution(dot, record.command, now)
         if record.submitted_here and record.command.client_id is not None:
             self.outbox.append(

@@ -68,6 +68,9 @@ class MDepAccept(Message):
 class MDepAcceptAck(Message):
     """Acceptance of a slow-path proposal."""
 
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
+
     ballot: int
 
     def size_bytes(self) -> int:
@@ -181,6 +184,9 @@ class MAccept(Message):
 @dataclass(frozen=True)
 class MAccepted(Message):
     """Acceptor -> leader: slot accepted."""
+
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 16
 
     slot: int
     ballot: int

@@ -39,6 +39,91 @@ from repro.protocols.depgraph import DependencyGraphExecutor
 
 ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
 
+_EMPTY_DEPS: FrozenSet[Dot] = frozenset()
+
+
+class KeyConflicts:
+    """Incrementally maintained conflict summary for one key.
+
+    The summary splits the commands registered on a key into a *live* part
+    (not yet executed here, bounded by in-flight commands) and an *executed*
+    archive.  Per-command bookkeeping — registration, retirement on
+    execution, the wait-free queries of ``_conflicts_of`` — touches only the
+    live part or performs whole-set C-level unions, so the Python-level work
+    per command is O(live) instead of the historical O(history) per-dot
+    iteration.  The combined views are cached and rebuilt lazily, and they
+    reproduce exactly the dependency sets the naive iteration emitted: the
+    archive is unioned back in, because an emitted dependency set must not
+    depend on how much of the history happens to have executed locally.
+    """
+
+    __slots__ = (
+        "live",
+        "live_writes",
+        "executed",
+        "executed_writes",
+        "peak_live",
+        "_all_cache",
+        "_writes_cache",
+    )
+
+    def __init__(self) -> None:
+        #: Registered, not yet executed (any kind).  Exposed through
+        #: ``DependencyProtocolProcess._conflicts`` and bounded by the
+        #: number of in-flight commands.
+        self.live: Set[Dot] = set()
+        #: The non-read-only subset of :attr:`live`.
+        self.live_writes: Set[Dot] = set()
+        #: Executed dots, retired out of the live sets.
+        self.executed: Set[Dot] = set()
+        self.executed_writes: Set[Dot] = set()
+        #: High-water mark of ``len(live)``, the boundedness witness used by
+        #: the pruning regression tests.
+        self.peak_live: int = 0
+        self._all_cache: Optional[FrozenSet[Dot]] = None
+        self._writes_cache: Optional[FrozenSet[Dot]] = None
+
+    def register(self, dot: Dot, read_only: bool) -> None:
+        live = self.live
+        if dot in live:
+            return
+        live.add(dot)
+        if len(live) > self.peak_live:
+            self.peak_live = len(live)
+        self._all_cache = None
+        if not read_only:
+            self.live_writes.add(dot)
+            self._writes_cache = None
+
+    def retire(self, dot: Dot, read_only: bool) -> None:
+        """Move an executed dot from the live sets into the archive."""
+        live = self.live
+        if dot not in live:
+            return
+        live.discard(dot)
+        self.executed.add(dot)
+        if not read_only:
+            self.live_writes.discard(dot)
+            self.executed_writes.add(dot)
+        # The combined views are unchanged (live + executed is the same
+        # set), so the caches stay valid.
+
+    def all_conflicts(self) -> FrozenSet[Dot]:
+        """Every command ever registered on this key."""
+        cache = self._all_cache
+        if cache is None:
+            cache = self._all_cache = frozenset(self.live.union(self.executed))
+        return cache
+
+    def write_conflicts(self) -> FrozenSet[Dot]:
+        """Every non-read-only command ever registered on this key."""
+        cache = self._writes_cache
+        if cache is None:
+            cache = self._writes_cache = frozenset(
+                self.live_writes.union(self.executed_writes)
+            )
+        return cache
+
 
 @dataclass
 class DepInfo:
@@ -84,7 +169,13 @@ class DependencyProtocolProcess(ProcessBase):
         self.read_write_aware = read_write_aware
         self.dot_generator = DotGenerator(process_id)
         self._info: Dict[Dot, DepInfo] = {}
-        #: Per-key set of known commands, used to compute conflicts.
+        #: Per-key conflict summaries (live/executed split plus cached
+        #: combined views), used to compute conflicts in O(live) per command.
+        self._conflict_index: Dict[str, KeyConflicts] = {}
+        #: Per-key set of *live* (not yet executed) commands.  Each value
+        #: aliases the ``live`` set of the corresponding summary, so this
+        #: view is pruned as commands execute and its peak size is bounded
+        #: by the number of in-flight commands.
         self._conflicts: Dict[str, Set[Dot]] = {}
         self._max_sequence_per_key: Dict[str, int] = {}
         self.executor = DependencyGraphExecutor()
@@ -148,31 +239,73 @@ class DependencyProtocolProcess(ProcessBase):
         return Command.write(dot, keys, payload_size=payload_size, client_id=client_id)
 
     def _conflicts_of(self, command: Command) -> Tuple[FrozenSet[Dot], int]:
-        """Locally known conflicting commands and the next sequence number."""
-        deps: Set[Dot] = set()
+        """Locally known conflicting commands and the next sequence number.
+
+        Reads depend on every known write; everything else depends on every
+        known command (§3.3).  The per-key summaries answer both queries
+        with cached whole-set unions, so the work here is one C-level union
+        per key instead of a per-dot scan of the key's full history.
+        """
+        # Reads do not depend on reads (§3.3).
+        reads_matter = not (self.read_write_aware and command.is_read_only())
+        max_sequence = self._max_sequence_per_key
+        index = self._conflict_index
+        keys = command.keys
         max_seq = 0
-        for key in command.keys:
-            for other_dot in self._conflicts.get(key, set()):
-                if other_dot == command.dot:
-                    continue
-                other = self._info.get(other_dot)
-                if other is None or other.command is None:
-                    deps.add(other_dot)
-                    continue
-                if self.read_write_aware and command.is_read_only() and other.command.is_read_only():
-                    # Reads do not depend on reads (§3.3).
-                    continue
-                deps.add(other_dot)
-            max_seq = max(max_seq, self._max_sequence_per_key.get(key, 0))
-        return frozenset(deps), max_seq + 1
+        if len(keys) == 1:
+            (key,) = keys
+            summary = index.get(key)
+            if summary is None:
+                deps = _EMPTY_DEPS
+            else:
+                deps = summary.all_conflicts() if reads_matter else summary.write_conflicts()
+                if command.dot in deps:
+                    deps = deps - {command.dot}
+            max_seq = max_sequence.get(key, 0)
+            return deps, max_seq + 1
+        union: Set[Dot] = set()
+        for key in keys:
+            summary = index.get(key)
+            if summary is not None:
+                union |= (
+                    summary.all_conflicts() if reads_matter else summary.write_conflicts()
+                )
+            key_seq = max_sequence.get(key, 0)
+            if key_seq > max_seq:
+                max_seq = key_seq
+        union.discard(command.dot)
+        return frozenset(union), max_seq + 1
 
     def _register(self, command: Command, sequence: int) -> None:
         """Make the command visible to future conflict computations."""
+        dot = command.dot
+        read_only = command.is_read_only()
+        index = self._conflict_index
+        conflicts = self._conflicts
+        max_sequence = self._max_sequence_per_key
         for key in command.keys:
-            self._conflicts.setdefault(key, set()).add(command.dot)
-            self._max_sequence_per_key[key] = max(
-                self._max_sequence_per_key.get(key, 0), sequence
-            )
+            summary = index.get(key)
+            if summary is None:
+                summary = index[key] = KeyConflicts()
+                conflicts[key] = summary.live
+            summary.register(dot, read_only)
+            if sequence > max_sequence.get(key, 0):
+                max_sequence[key] = sequence
+
+    def _retire_executed(self, command: Command) -> None:
+        """Prune an executed command out of the live conflict sets.
+
+        Its contribution to future dependency sets is preserved by the
+        per-key executed archive, so emitted dependencies are unchanged;
+        only the per-command bookkeeping shrinks to the live window.
+        """
+        dot = command.dot
+        read_only = command.is_read_only()
+        index = self._conflict_index
+        for key in command.keys:
+            summary = index.get(key)
+            if summary is not None:
+                summary.retire(dot, read_only)
 
     def _fast_quorum(self) -> List[int]:
         members = self.config.processes_of_partition(self.partition)
@@ -318,6 +451,13 @@ class DependencyProtocolProcess(ProcessBase):
         record.sequence = message.sequence
         record.status = "commit"
         record.committed_at = now
+        # The quorum bookkeeping is dead past this point (the ack handlers
+        # gate on the pre-commit statuses); drop it so each ack's
+        # history-sized dependency snapshot can be reclaimed.
+        if record.preaccept_acks:
+            record.preaccept_acks = {}
+        if record.accept_acks:
+            record.accept_acks = set()
         self._register(message.command, message.sequence)
         newly = self.executor.commit(
             message.dot, message.dependencies, message.sequence
@@ -335,6 +475,7 @@ class DependencyProtocolProcess(ProcessBase):
                 continue
             result = self.apply_fn(record.command) if self.apply_fn else None
             record.status = "execute"
+            self._retire_executed(record.command)
             self.record_execution(dot, record.command, now)
             if record.submitted_here and record.command.client_id is not None:
                 self.outbox.append(
@@ -371,3 +512,18 @@ class DependencyProtocolProcess(ProcessBase):
     def max_component_size(self) -> int:
         """Largest strongly connected component executed so far."""
         return self.executor.max_component_size()
+
+    def conflict_footprint(self) -> Dict[str, int]:
+        """Size accounting of the conflict-tracking structures.
+
+        ``live`` (and its high-water mark ``peak_live``) must stay bounded
+        by in-flight commands under the pruning scheme, while ``archived``
+        carries the executed history needed to keep emitted dependency
+        sets exact.
+        """
+        live = peak = archived = 0
+        for summary in self._conflict_index.values():
+            live += len(summary.live)
+            peak = max(peak, summary.peak_live)
+            archived += len(summary.executed)
+        return {"live": live, "peak_live": peak, "archived": archived}

@@ -31,6 +31,10 @@ class CommittedNode:
     dot: Dot
     dependencies: FrozenSet[Dot]
     sequence: int = 0
+    #: Dependencies not yet executed *here*, shrunk as they execute.  Kept
+    #: so per-commit bookkeeping touches only the live part of a dependency
+    #: set instead of re-walking the (mostly executed) full history.
+    live_deps: Set[Dot] = field(default_factory=set)
 
 
 class DependencyGraph:
@@ -62,13 +66,12 @@ class DependencyGraph:
         if dot in self._nodes:
             return False
         dependencies = frozenset(dependencies)
+        live = set(dependencies - self._executed)
         self._nodes[dot] = CommittedNode(
-            dot=dot, dependencies=dependencies, sequence=sequence
+            dot=dot, dependencies=dependencies, sequence=sequence, live_deps=live
         )
         self._unexecuted[dot] = None
-        for dependency in dependencies:
-            if dependency in self._executed:
-                continue
+        for dependency in live:
             self._dependents.setdefault(dependency, set()).add(dot)
             if dependency not in self._nodes:
                 self._missing.add(dependency)
@@ -82,14 +85,22 @@ class DependencyGraph:
         self._unexecuted.pop(dot, None)
         node = self._nodes.get(dot)
         if node is not None:
-            for dependency in node.dependencies:
+            for dependency in node.live_deps:
                 bucket = self._dependents.get(dependency)
                 if bucket is not None:
                     bucket.discard(dot)
                     if not bucket:
                         del self._dependents[dependency]
-        # Executed nodes are never blocked, so edges into them are dead.
-        self._dependents.pop(dot, None)
+        # Executed nodes are never blocked, so edges into them are dead;
+        # shrink the dependants' live sets so their bookkeeping stays
+        # proportional to in-flight commands.
+        dependents = self._dependents.pop(dot, None)
+        if dependents:
+            nodes = self._nodes
+            for dependent in dependents:
+                dependent_node = nodes.get(dependent)
+                if dependent_node is not None:
+                    dependent_node.live_deps.discard(dot)
 
     def is_committed(self, dot: Dot) -> bool:
         return dot in self._nodes
@@ -286,8 +297,27 @@ class DependencyGraphExecutor:
 
     def commit(self, dot: Dot, dependencies: Iterable[Dot], sequence: int = 0) -> List[Dot]:
         """Commit a command and return the commands that became executable."""
-        if self.graph.commit(dot, dependencies, sequence):
-            self._dirty = True
+        graph = self.graph
+        was_missing = dot in graph._missing
+        if not graph.commit(dot, dependencies, sequence):
+            return []
+        if not was_missing:
+            # No committed node was waiting for ``dot`` (otherwise it would
+            # have been a missing source), so this commit cannot unblock
+            # anything else, and advance() left every other pending node
+            # blocked at its last fixed point.  The only candidate executable
+            # is ``dot`` itself: it runs exactly when all its dependencies
+            # are already executed here (a committed-but-unexecuted
+            # dependency is itself blocked, hence so is ``dot``).  This skips
+            # the full blocked-set/SCC pass for the common in-order commit.
+            live = graph._nodes[dot].live_deps
+            if live and not (len(live) == 1 and dot in live):
+                return []
+            self.component_sizes.append(1)
+            graph.mark_executed(dot)
+            self.execution_order.append(dot)
+            return [dot]
+        self._dirty = True
         return self.advance()
 
     def advance(self) -> List[Dot]:

@@ -137,6 +137,9 @@ class JanusProcess(AtlasProcess):
             if local_command is not None and self.apply_fn is not None:
                 result = self.apply_fn(local_command)
             record.status = "execute"
+            self._retire_executed(record.command)
+            self._expected_fast.pop(dot, None)
+            self._expected_slow.pop(dot, None)
             self.record_execution(dot, record.command, now)
             if record.submitted_here and record.command.client_id is not None:
                 self.outbox.append(

@@ -74,8 +74,13 @@ class Network:
         #: invalidated when an endpoint is (re)placed.  Jitter, when enabled,
         #: is drawn per transmission on top of the cached base.
         self._delay_cache: Dict[Tuple[int, int], float] = {}
-        #: Cache of message type -> (kind name, size_bytes method or None).
-        self._type_info: Dict[type, Tuple[str, Optional[Callable[[object], int]]]] = {}
+        #: Cache of message type -> (kind name, size_bytes method or None,
+        #: fixed wire size or None).  Kinds that declare ``FIXED_SIZE_BYTES``
+        #: (payload-free acks and the like) let batched accounting multiply
+        #: instead of calling ``size_bytes`` per message.
+        self._type_info: Dict[
+            type, Tuple[str, Optional[Callable[[object], int]], Optional[int]]
+        ] = {}
 
     # -- topology -------------------------------------------------------------
 
@@ -130,6 +135,22 @@ class Network:
             return False
         return self.rng.uniform() < self.options.drop_probability
 
+    def _resolve_type_info(
+        self, message_type: type
+    ) -> Tuple[str, Optional[Callable[[object], int]], Optional[int]]:
+        """Build and cache the stats metadata for one message type."""
+        # Cache the *unbound* class attribute: a bound method would pin
+        # the first instance seen for this type.
+        size = getattr(message_type, "size_bytes", None)
+        fixed = getattr(message_type, "FIXED_SIZE_BYTES", None)
+        info = (
+            message_type.__name__,
+            size if callable(size) else None,
+            int(fixed) if isinstance(fixed, int) else None,
+        )
+        self._type_info[message_type] = info
+        return info
+
     def _count_message(self, message: object) -> None:
         """Account for one logical message in the stats counters."""
         stats = self.stats
@@ -137,15 +158,13 @@ class Network:
         message_type = message.__class__
         type_info = self._type_info.get(message_type)
         if type_info is None:
-            # Cache the *unbound* class attribute: a bound method would pin
-            # the first instance seen for this type.
-            size = getattr(message_type, "size_bytes", None)
-            type_info = (message_type.__name__, size if callable(size) else None)
-            self._type_info[message_type] = type_info
-        kind, size_method = type_info
+            type_info = self._resolve_type_info(message_type)
+        kind, size_method, fixed_size = type_info
         per_kind = stats.per_kind
         per_kind[kind] = per_kind.get(kind, 0) + 1
-        if size_method is not None:
+        if fixed_size is not None:
+            stats.bytes_sent += fixed_size
+        elif size_method is not None:
             stats.bytes_sent += int(size_method(message))
 
     def transmit(
@@ -193,9 +212,50 @@ class Network:
         time (``None`` when nothing survived or jitter forced the
         per-message path).
         """
+        if not messages:
+            return None
         stats = self.stats
         crashed = destination in self._crashed
         jittery = bool(self.options.jitter_ms)
+        if not crashed and not jittery and not self.options.drop_probability:
+            # Fast path: every message survives and shares one delivery, so
+            # the per-message stats work collapses to one ``per_kind`` update
+            # per *run* of same-type inner messages (outboxes are dominated
+            # by broadcast runs of a single kind).  Counter values are
+            # identical to ``len(messages)`` calls of :meth:`transmit`.
+            count = len(messages)
+            per_kind = stats.per_kind
+            type_info = self._type_info
+            bytes_sent = 0
+            index = 0
+            while index < count:
+                message = messages[index]
+                message_type = message.__class__
+                info = type_info.get(message_type)
+                if info is None:
+                    info = self._resolve_type_info(message_type)
+                kind, size_method, fixed_size = info
+                run_end = index + 1
+                while run_end < count and messages[run_end].__class__ is message_type:
+                    run_end += 1
+                run_length = run_end - index
+                per_kind[kind] = per_kind.get(kind, 0) + run_length
+                if fixed_size is not None:
+                    bytes_sent += fixed_size * run_length
+                elif size_method is not None:
+                    for position in range(index, run_end):
+                        bytes_sent += int(size_method(messages[position]))
+                index = run_end
+            stats.messages_sent += count
+            stats.bytes_sent += bytes_sent
+            at = now + self._base_delay(sender, destination)
+            if count == 1:
+                deliver(at, sender, destination, messages[0])
+            else:
+                deliver(at, sender, destination, MBatch(tuple(messages)))
+                stats.batches_sent += 1
+            stats.messages_delivered += count
+            return at
         survivors: List[object] = []
         for message in messages:
             self._count_message(message)

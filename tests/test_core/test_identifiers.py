@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.identifiers import Dot, DotGenerator
+from repro.core.identifiers import Dot, DotGenerator, intern_dot
 
 
 class TestDot:
@@ -72,3 +72,44 @@ class TestDotGenerator:
         left_dots = {left.next_id() for _ in range(count)}
         right_dots = {right.next_id() for _ in range(count)}
         assert not left_dots & right_dots
+
+
+class TestInterning:
+    def test_peek_and_next_id_share_one_instance(self):
+        generator = DotGenerator(source=7)
+        peeked = generator.peek()
+        assert generator.next_id() is peeked
+
+    def test_two_generators_of_one_source_share_instances(self):
+        first = DotGenerator(source=9)
+        second = DotGenerator(source=9)
+        assert first.next_id() is second.next_id()
+
+    def test_intern_dot_returns_canonical_instance(self):
+        generator = DotGenerator(source=11)
+        minted = generator.next_id()
+        assert intern_dot(11, 1) is minted
+        # Equal-but-uninterned construction still compares equal.
+        assert Dot(11, 1) == minted
+
+    def test_sparse_lookup_does_not_widen_the_table(self):
+        far_ahead = intern_dot(13, 1_000_000)
+        assert far_ahead == Dot(13, 1_000_000)
+        # The dense part of the table is unaffected.
+        assert intern_dot(13, 1) == Dot(13, 1)
+
+    def test_interned_dots_validate_like_plain_dots(self):
+        with pytest.raises(ValueError):
+            intern_dot(0, 0)
+        with pytest.raises(ValueError):
+            intern_dot(-1, 1)
+
+    def test_hash_is_cached_and_stable(self):
+        dot = Dot(3, 21)
+        assert hash(dot) == 21 * 64 + 3
+        assert hash(dot) == hash(intern_dot(3, 21))
+
+    def test_equality_and_ordering_semantics_survive_interning(self):
+        assert intern_dot(0, 2) > intern_dot(0, 1)
+        assert intern_dot(1, 1) > intern_dot(0, 5)
+        assert intern_dot(2, 2) != intern_dot(2, 3)

@@ -106,3 +106,43 @@ class TestStructure:
         ack = MRecAck(Dot(0, 1), timestamp=4, phase=Phase.RECOVER_R, accepted_ballot=0, ballot=8)
         assert ack.phase is Phase.RECOVER_R
         assert ack.accepted_ballot == 0
+
+
+class TestFixedSizeDeclarations:
+    """Kinds declaring ``FIXED_SIZE_BYTES`` promise an instance-independent
+    wire size; the batched network accounting multiplies instead of calling
+    ``size_bytes`` per message, so the declaration must match exactly."""
+
+    def _instances(self):
+        from repro.protocols.dep_messages import MAccepted, MDepAcceptAck
+
+        dot = Dot(0, 1)
+        return [
+            MConsensus(dot, 5, 2),
+            MConsensusAck(dot, 2),
+            MBump(dot, 9),
+            MStable(dot, 1),
+            MRec(dot, 3),
+            MRecAck(dot, 5, Phase.PROPOSE, 1, 3),
+            MRecNAck(dot, 4),
+            MCommitRequest(dot),
+            ClientReply(dot, result=None),
+            MDepAcceptAck(dot, 2),
+            MAccepted(dot, 7, 1),
+        ]
+
+    def test_every_declared_fixed_size_matches_size_bytes(self):
+        covered = set()
+        for message in self._instances():
+            declared = getattr(type(message), "FIXED_SIZE_BYTES", None)
+            assert declared is not None, type(message).__name__
+            assert message.size_bytes() == declared, type(message).__name__
+            covered.add(type(message).__name__)
+        assert len(covered) == len(self._instances())
+
+    def test_variable_size_kinds_do_not_declare_fixed_sizes(self):
+        for message_type in (MSubmit, MPropose, MProposeAck, MPayload,
+                             MCommit, MPromises, ClientSubmit):
+            assert getattr(message_type, "FIXED_SIZE_BYTES", None) is None, (
+                message_type.__name__
+            )

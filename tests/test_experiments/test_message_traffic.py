@@ -50,3 +50,50 @@ class TestCommitRequestTraffic:
             value for key, value in stats.items() if key.startswith("sent:")
         )
         assert per_kind_total == stats["messages_sent"]
+
+
+def run_fig6_row(protocol: str, faults: int) -> dict:
+    """A scaled-down fig6 cell (contended microbenchmark, 5 sites)."""
+    config = ExperimentConfig(
+        protocol=protocol,
+        num_sites=5,
+        faults=faults,
+        clients_per_site=8,
+        conflict_rate=0.15,
+        duration_ms=2_000.0,
+        warmup_ms=500.0,
+        seed=1,
+    )
+    return run_experiment(config).stats
+
+
+class TestFig6Traffic:
+    """Traffic-count regression gates for the fig6 contended workload.
+
+    The ceilings sit ~25 % above the counts measured after the bounded
+    conflict-history work (see ``BENCH_fig6.json`` for the full-benchmark
+    numbers); a CI failure here means a change re-inflated the message
+    traffic of the contended path.
+    """
+
+    #: Measured messages_sent per protocol (seed 1), with ~25 % headroom.
+    CEILINGS = {
+        ("tempo", 1): (19_150, 24_000),
+        ("atlas", 1): (4_923, 6_200),
+        ("epaxos", 1): (4_663, 5_900),
+    }
+
+    def test_fig6_message_counts_stay_bounded(self):
+        for (protocol, faults), (measured, ceiling) in self.CEILINGS.items():
+            stats = run_fig6_row(protocol, faults)
+            sent = stats["messages_sent"]
+            assert sent <= ceiling, (
+                f"{protocol} f={faults}: fig6 traffic regressed to "
+                f"{sent:.0f} messages (was ~{measured}, ceiling {ceiling})"
+            )
+            # Sanity floor: the run must actually exercise the workload.
+            assert sent > measured * 0.5
+
+    def test_fig6_commit_requests_stay_debounced(self):
+        stats = run_fig6_row("tempo", 1)
+        assert stats.get("sent:MCommitRequest", 0.0) < 1_300

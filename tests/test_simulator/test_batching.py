@@ -172,3 +172,80 @@ class TestBatchNetworkSemantics:
         simulation.submit_at(0.0, 0, None)
         simulation.run(until=50.0)
         assert received == ["r1", "r2"]
+
+
+class TestBatchStatsFastPath:
+    """``transmit_batch`` counts runs of same-type inner messages at once;
+    the resulting ``NetworkStats`` must be indistinguishable from routing
+    every message through ``transmit`` individually."""
+
+    def _mixed_messages(self):
+        from repro.core.identifiers import Dot
+        from repro.core.messages import MCommitRequest, MConsensusAck, MStable
+        from repro.protocols.dep_messages import MPreAcceptAck
+
+        dot = Dot(0, 1)
+        # Two runs of fixed-size kinds, one variable-size kind, singletons.
+        return [
+            MConsensusAck(dot, 1),
+            MConsensusAck(dot, 2),
+            MConsensusAck(dot, 3),
+            MPreAcceptAck(dot, frozenset({Dot(1, 1), Dot(2, 1)}), 4),
+            MStable(dot, 0),
+            MCommitRequest(dot),
+            MCommitRequest(dot),
+        ]
+
+    def test_batched_stats_match_per_message_transmit(self):
+        messages = self._mixed_messages()
+        deliveries = []
+
+        def deliver(at, sender, destination, message):
+            deliveries.append((at, message))
+
+        _, batched_sim = build()
+        batched = batched_sim.network
+        batched.transmit_batch(0, 1, messages, 0.0, deliver)
+
+        _, reference_sim = build()
+        reference = reference_sim.network
+        for message in messages:
+            reference.transmit(0, 1, message, 0.0, deliver)
+
+        assert batched.stats.messages_sent == reference.stats.messages_sent
+        assert batched.stats.messages_delivered == reference.stats.messages_delivered
+        assert batched.stats.bytes_sent == reference.stats.bytes_sent
+        assert batched.stats.per_kind == reference.stats.per_kind
+        # The only permitted difference: one MBatch delivery event.
+        assert batched.stats.batches_sent == 1
+        assert reference.stats.batches_sent == 0
+
+    def test_fast_path_preserves_message_order_in_the_batch(self):
+        from repro.core.base import MBatch
+
+        messages = self._mixed_messages()
+        deliveries = []
+
+        def deliver(at, sender, destination, message):
+            deliveries.append(message)
+
+        _, simulation = build()
+        simulation.network.transmit_batch(0, 1, messages, 0.0, deliver)
+        assert len(deliveries) == 1
+        assert isinstance(deliveries[0], MBatch)
+        assert list(deliveries[0].messages) == messages
+
+    def test_jitter_still_uses_the_per_message_path(self):
+        messages = self._mixed_messages()
+        deliveries = []
+
+        def deliver(at, sender, destination, message):
+            deliveries.append(message)
+
+        _, simulation = build(jitter_ms=1.0)
+        network = simulation.network
+        network.transmit_batch(0, 1, messages, 0.0, deliver)
+        # Per-message deliveries, no MBatch envelope.
+        assert len(deliveries) == len(messages)
+        assert network.stats.batches_sent == 0
+        assert network.stats.messages_sent == len(messages)
