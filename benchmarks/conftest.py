@@ -60,7 +60,9 @@ def _record_traffic(config, result) -> None:
             f"clients={config.clients_per_site}",
             "messages": int(result.stats.get("messages_sent", 0)),
             "batches": int(result.stats.get("batches_sent", 0)),
+            "deliveries": int(result.stats.get("deliveries", 0)),
             "commit_requests": int(result.stats.get("sent:MCommitRequest", 0)),
+            "promise_messages": int(result.stats.get("sent:MPromises", 0)),
         }
     )
 

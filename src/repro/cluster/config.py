@@ -31,6 +31,11 @@ class ExperimentConfig:
         seed: RNG seed (workloads, jitter).
         sites: site names; defaults to the paper's five EC2 regions.
         protocol_kwargs: extra arguments for the protocol constructor.
+        crash_site_rank: if set, crash the replica of ``crash_shard`` hosted
+            at this site rank at ``crash_at_ms`` (failure-injection runs,
+            e.g. the crash-during-contention tail benchmark).
+        crash_shard: shard whose replica is crashed (default 0).
+        crash_at_ms: simulated time of the injected crash.
     """
 
     protocol: str = "tempo"
@@ -51,6 +56,9 @@ class ExperimentConfig:
     sites: Sequence[str] = field(default_factory=lambda: EC2_REGIONS)
     keys_per_shard: int = 10_000
     protocol_kwargs: Dict[str, object] = field(default_factory=dict)
+    crash_site_rank: Optional[int] = None
+    crash_shard: int = 0
+    crash_at_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_sites < 1:
@@ -65,6 +73,17 @@ class ExperimentConfig:
             raise ValueError("warmup_ms must be smaller than duration_ms")
         if self.workload not in ("micro", "ycsbt"):
             raise ValueError("workload must be 'micro' or 'ycsbt'")
+        if (self.crash_site_rank is None) != (self.crash_at_ms is None):
+            raise ValueError(
+                "crash_site_rank and crash_at_ms must be set together"
+            )
+        if self.crash_site_rank is not None:
+            if not 0 <= self.crash_site_rank < self.num_sites:
+                raise ValueError("crash_site_rank out of range")
+            if not 0 <= self.crash_shard < self.num_shards:
+                raise ValueError("crash_shard out of range")
+            if self.crash_at_ms <= 0:
+                raise ValueError("crash_at_ms must be positive")
 
     def site_names(self) -> Sequence[str]:
         """Names of the sites actually used."""

@@ -222,6 +222,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         start_delay = rng.uniform_between(0.0, 5.0)
         simulation.schedule(start_delay, lambda now, client=client: client.start(now))
 
+    if config.crash_at_ms is not None and config.crash_site_rank is not None:
+        victim = deployment.process_for(config.crash_site_rank, config.crash_shard)
+        simulation.crash_at(config.crash_at_ms, victim.process_id)
+
     simulation.run(until=config.duration_ms + 4_000.0)
 
     overall = LatencyHistogram()
@@ -237,8 +241,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     network_stats = deployment.network.stats
     stats: Dict[str, float] = {
         "messages_sent": float(network_stats.messages_sent),
+        "messages_delivered": float(network_stats.messages_delivered),
         "bytes_sent": float(network_stats.bytes_sent),
         "batches_sent": float(network_stats.batches_sent),
+        "deliveries": float(network_stats.deliveries),
         "events": float(simulation.stats.events_processed),
     }
     # Per-kind message counts (e.g. ``sent:MCommitRequest``) so message-

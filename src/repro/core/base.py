@@ -13,7 +13,17 @@ Self-addressed messages are delivered synchronously (the paper assumes
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.commands import Command
 from repro.core.config import ProtocolConfig
@@ -67,6 +77,11 @@ class ProcessBase(abc.ABC):
         self._partition_peers: Tuple[int, ...] = tuple(
             config.processes_of_partition(self.partition)
         )
+        self._partition_peer_set: FrozenSet[int] = frozenset(self._partition_peers)
+        #: Depth of the current delivery step (``deliver`` nests through
+        #: synchronous self-addressed sends); ``_flush_step`` fires when the
+        #: outermost delivery unwinds.
+        self._step_depth = 0
         self.outbox: List[Envelope] = []
         self.executed: List[Tuple[Dot, Command]] = []
         self._execution_listeners: List[ExecutionListener] = []
@@ -113,19 +128,41 @@ class ProcessBase(abc.ABC):
 
         Batches are unpacked here, preserving the send order of the inner
         messages; crashed processes drop the whole delivery.
+
+        Every delivery runs inside a *delivery scope*: reactive work a
+        protocol wants to run once per delivered batch rather than once per
+        inner message (e.g. Tempo's stability check) is deferred via
+        :meth:`_flush_step`, which fires exactly once when the outermost
+        delivery unwinds — nested self-addressed deliveries share the
+        enclosing scope.
         """
         if not self.alive:
             return
+        depth = self._step_depth
+        self._step_depth = depth + 1
         message_counts = self.message_counts
-        if type(message) is MBatch:
-            for inner in message.messages:
-                kind = type(inner).__name__
+        try:
+            if type(message) is MBatch:
+                on_message = self.on_message
+                for inner in message.messages:
+                    kind = type(inner).__name__
+                    message_counts[kind] = message_counts.get(kind, 0) + 1
+                    on_message(sender, inner, now)
+            else:
+                kind = type(message).__name__
                 message_counts[kind] = message_counts.get(kind, 0) + 1
-                self.on_message(sender, inner, now)
-            return
-        kind = type(message).__name__
-        message_counts[kind] = message_counts.get(kind, 0) + 1
-        self.on_message(sender, message, now)
+                self.on_message(sender, message, now)
+        finally:
+            self._step_depth = depth
+        if depth == 0:
+            self._flush_step(now)
+
+    def _flush_step(self, now: float) -> None:
+        """Hook run once per outermost delivery (the batch-delivery scope).
+
+        The default does nothing; protocols override it to coalesce
+        per-message reactive work into per-batch work.
+        """
 
     @abc.abstractmethod
     def submit(self, command: Command, now: float = 0.0) -> None:
@@ -177,6 +214,11 @@ class ProcessBase(abc.ABC):
     def partition_peers(self) -> Sequence[int]:
         """Processes replicating the same partition (including self)."""
         return self._partition_peers
+
+    def partition_peer_set(self) -> FrozenSet[int]:
+        """Frozen set view of :meth:`partition_peers`, cached per process
+        (membership tests on the per-message hot path)."""
+        return self._partition_peer_set
 
     def leader_of_partition(self) -> Optional[int]:
         """Simple Omega-style leader: lowest-id peer believed alive."""

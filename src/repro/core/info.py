@@ -14,7 +14,7 @@ from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.core.commands import Command
 from repro.core.phases import Phase, transition
-from repro.core.promises import Promise
+from repro.core.promises import Promise, RangeCollector
 
 
 @dataclass
@@ -34,7 +34,9 @@ class CommandInfo:
     # -- coordinator-side state -------------------------------------------------
     proposals: Dict[int, int] = field(default_factory=dict)
     collected_attached: Set[Promise] = field(default_factory=set)
-    collected_detached: Set[Promise] = field(default_factory=set)
+    #: Detached promises piggybacked on the collected MProposeAcks, kept as
+    #: per-process ranges (never materialised into ``Promise`` objects).
+    collected_detached: RangeCollector = field(default_factory=RangeCollector)
     consensus_acks: Dict[int, Set[int]] = field(default_factory=dict)
     recovery_acks: Dict[int, Dict[int, Tuple[int, Phase, int]]] = field(
         default_factory=dict
@@ -59,7 +61,8 @@ class CommandInfo:
 
     @property
     def is_committed(self) -> bool:
-        return self.phase in (Phase.COMMIT, Phase.EXECUTE)
+        phase = self.phase
+        return phase is Phase.COMMIT or phase is Phase.EXECUTE
 
     def accessed_partitions(self) -> FrozenSet[int]:
         """Partitions accessed by the command, derived from the fast-quorum
@@ -68,10 +71,22 @@ class CommandInfo:
 
     def has_all_commits(self) -> bool:
         """Whether a commit was received from every accessed partition."""
-        partitions = self.accessed_partitions()
-        return bool(partitions) and partitions <= set(self.partition_commits)
+        quorums = self.quorums
+        if not quorums:
+            return False
+        partition_commits = self.partition_commits
+        for partition in quorums:
+            if partition not in partition_commits:
+                return False
+        return True
 
     def has_all_stable(self) -> bool:
         """Whether an MStable was received from every accessed partition."""
-        partitions = self.accessed_partitions()
-        return bool(partitions) and partitions <= self.stable_from
+        quorums = self.quorums
+        if not quorums:
+            return False
+        stable_from = self.stable_from
+        for partition in quorums:
+            if partition not in stable_from:
+                return False
+        return True

@@ -18,7 +18,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 from repro.core.commands import Command
 from repro.core.identifiers import Dot
 from repro.core.phases import Phase
-from repro.core.promises import Promise
+from repro.core.promises import Promise, PromiseRangeWire, range_wire_count
 
 #: Rough per-message framing overhead in bytes (headers, ids, enums).
 _HEADER_BYTES = 24
@@ -78,18 +78,24 @@ class MPropose(Message):
 @dataclass(frozen=True)
 class MProposeAck(Message):
     """Fast-quorum process -> coordinator: timestamp proposal (plus the
-    promises issued while computing it, piggybacked as in §3.2)."""
+    promises issued while computing it, piggybacked as in §3.2).
+
+    ``detached`` is range-encoded (``PromiseRangeWire``): the proposal's
+    clock jump issues one contiguous run of detached promises, so the ack
+    carries ``{sender: ((lo, hi),)}`` instead of a ``Promise`` per skipped
+    timestamp.  ``size_bytes`` still charges per logical promise.
+    """
 
     timestamp: int
     attached: FrozenSet[Promise] = frozenset()
-    detached: FrozenSet[Promise] = frozenset()
+    detached: PromiseRangeWire = field(default_factory=dict)
 
     def size_bytes(self) -> int:
         return (
             _HEADER_BYTES
             + 8
             + _promises_size(self.attached)
-            + _promises_size(self.detached)
+            + _PROMISE_BYTES * range_wire_count(self.detached)
         )
 
 
@@ -106,19 +112,25 @@ class MPayload(Message):
 
 @dataclass(frozen=True)
 class MCommit(Message):
-    """Commit notification with the (per-partition) committed timestamp."""
+    """Commit notification with the (per-partition) committed timestamp.
+
+    The piggybacked ``detached`` promises (everything the fast quorum
+    skipped while proposing) are range-encoded per issuing process
+    (``PromiseRangeWire``); ``attached`` stays materialised (at most one
+    promise per quorum member).
+    """
 
     timestamp: int
     partition: int = 0
     attached: FrozenSet[Promise] = frozenset()
-    detached: FrozenSet[Promise] = frozenset()
+    detached: PromiseRangeWire = field(default_factory=dict)
 
     def size_bytes(self) -> int:
         return (
             _HEADER_BYTES
             + 12
             + _promises_size(self.attached)
-            + _promises_size(self.detached)
+            + _PROMISE_BYTES * range_wire_count(self.detached)
         )
 
 
@@ -176,9 +188,16 @@ class MPromises(Message):
     the coordinator's commit broadcast (which provably reached the sender
     and is therefore in flight) instead of issuing an ``MCommitRequest``
     round — see ``docs/batching.md`` for the full rule.
+
+    ``detached`` is range-encoded (``PromiseRangeWire``): detached promises
+    are issued by clock jumps and therefore arrive as contiguous runs, so
+    the broadcast carries ``(lo, hi)`` intervals straight from the sender's
+    tracker instead of one ``Promise`` per timestamp.  ``size_bytes`` still
+    charges per logical promise, keeping the byte accounting identical to
+    the historical set encoding.
     """
 
-    detached: FrozenSet[Promise] = frozenset()
+    detached: PromiseRangeWire = field(default_factory=dict)
     attached: Mapping[Dot, FrozenSet[Promise]] = field(default_factory=dict)
     committed: FrozenSet[Dot] = frozenset()
 
@@ -186,7 +205,7 @@ class MPromises(Message):
         attached_count = sum(len(promises) for promises in self.attached.values())
         return (
             _HEADER_BYTES
-            + _PROMISE_BYTES * (len(self.detached) + attached_count)
+            + _PROMISE_BYTES * (range_wire_count(self.detached) + attached_count)
             + _PROMISE_BYTES * len(self.committed)
         )
 

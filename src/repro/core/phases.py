@@ -12,7 +12,6 @@ recover-p (the phases in which the command is known but not yet committed).
 from __future__ import annotations
 
 import enum
-from typing import FrozenSet
 
 
 class Phase(enum.Enum):
@@ -28,7 +27,14 @@ class Phase(enum.Enum):
 
     def is_pending(self) -> bool:
         """True for phases in the paper's ``pending`` set."""
-        return self in _PENDING
+        # Identity chain rather than a frozenset probe: this sits on the
+        # per-message hot path and enum hashing is comparatively slow.
+        return (
+            self is Phase.PAYLOAD
+            or self is Phase.PROPOSE
+            or self is Phase.RECOVER_R
+            or self is Phase.RECOVER_P
+        )
 
     def is_terminal(self) -> bool:
         """True once the command has been executed."""
@@ -41,10 +47,6 @@ class Phase(enum.Enum):
         """
         return new in _TRANSITIONS[self]
 
-
-_PENDING: FrozenSet[Phase] = frozenset(
-    {Phase.PAYLOAD, Phase.PROPOSE, Phase.RECOVER_R, Phase.RECOVER_P}
-)
 
 _TRANSITIONS = {
     Phase.START: frozenset({Phase.PAYLOAD, Phase.PROPOSE, Phase.COMMIT}),

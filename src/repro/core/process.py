@@ -40,7 +40,7 @@ from repro.core.messages import (
     MSubmit,
 )
 from repro.core.phases import Phase
-from repro.core.promises import Promise, PromiseSet, PromiseTracker
+from repro.core.promises import Promise, PromiseSet, PromiseTracker, RangeCollector
 from repro.core.quorums import QuorumSystem
 from repro.core.recovery import RecoveryMixin
 
@@ -93,8 +93,10 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self.promises = PromiseSet()
         self.dot_generator = DotGenerator(process_id)
         self._info: Dict[Dot, CommandInfo] = {}
-        #: Attached promises received for identifiers not yet committed here.
-        self._buffered_attached: Dict[Dot, Set[Promise]] = {}
+        #: Attached promises received for identifiers not yet committed here,
+        #: buffered as ``(process, timestamp)`` pairs (Algorithm 2, line 47);
+        #: plain tuples keep the per-commit buffering allocation-light.
+        self._buffered_attached: Dict[Dot, List[Tuple[int, int]]] = {}
         #: Committed-but-not-executed identifiers and their final timestamps.
         self._committed: Dict[Dot, int] = {}
         #: Identifiers for which an MCommitRequest was already sent, mapped
@@ -122,9 +124,27 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._pending_watch: List[Tuple[float, Dot]] = []
         self._last_promise_broadcast = float("-inf")
         self._last_stability_check = float("-inf")
-        #: Broadcast target lists (``I_c`` / MStable recipients) cached per
-        #: accessed-partition set; the lists are only ever iterated.
+        #: Set when a commit or promise absorption during a delivery scope
+        #: made new timestamps potentially stable; the scope's
+        #: :meth:`_flush_step` then runs one stability check for the whole
+        #: delivered batch instead of one per inner message.
+        self._stability_dirty = False
+        #: Like ``_stability_dirty`` but for MStable notifications, which
+        #: only require an execution attempt, not a full stability pass.
+        self._execute_dirty = False
+        #: ``_commit_info_targets`` result per fast-quorum tuple (the quorum
+        #: determines the answer; commands share a handful of quorums).
+        self._commit_info_target_cache: Dict[
+            Tuple[int, ...], Optional[List[int]]
+        ] = {}
+        #: Sorted ack-broadcast target list per fast-quorum tuple.
+        self._ack_target_cache: Dict[Tuple[int, ...], List[int]] = {}
+        #: Broadcast target lists (``I_c``) cached per accessed-partition
+        #: set; the lists are only ever iterated.
         self._partition_targets: Dict[FrozenSet[int], List[int]] = {}
+        #: MStable recipient lists (self + other-partition processes of
+        #: ``I_c``) cached per accessed-partition set.
+        self._stable_targets: Dict[FrozenSet[int], List[int]] = {}
         #: Message-type -> bound handler dispatch table (exact class match;
         #: protocol messages are never subclassed).  Replaces the isinstance
         #: chain on the per-message hot path.
@@ -204,6 +224,33 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             self._partition_targets[key] = targets
         return targets
 
+    def _stable_targets_for(self, partitions: Iterable[int]) -> List[int]:
+        """Recipients of an MStable notification: this process plus the
+        processes of the *other* accessed partitions.
+
+        Timestamp stability is a deterministic local function of the promise
+        set, and promises circulate within a partition, so every
+        same-partition peer derives this partition's stability on its own; a
+        command only executes once the peer's *local* check pops it, at
+        which point its self-addressed MStable has already filled this
+        partition's ``stable_from`` slot.  Explicit notifications to
+        same-partition peers are therefore pure redundancy and are elided.
+        Cross-partition processes cannot derive it (promise traffic never
+        leaves a partition), so they keep receiving the notification
+        required by the PSMR execution rule (Algorithm 3/6).
+        """
+        key = frozenset(partitions)
+        targets = self._stable_targets.get(key)
+        if targets is None:
+            own = self.partition
+            members = {self.process_id}
+            for partition in key:
+                if partition != own:
+                    members.update(self.config.processes_of_partition(partition))
+            targets = sorted(members)
+            self._stable_targets[key] = targets
+        return targets
+
     def _absorb_own_issue(
         self, dot: Dot, attached_timestamp: int, detached: Sequence[int]
     ) -> None:
@@ -214,8 +261,8 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         local promises too).
         """
         self._absorb_detached(detached)
-        self._buffered_attached.setdefault(dot, set()).add(
-            Promise(self.process_id, attached_timestamp)
+        self._buffered_attached.setdefault(dot, []).append(
+            (self.process_id, attached_timestamp)
         )
 
     def _absorb_detached(self, detached: Sequence[int]) -> None:
@@ -322,18 +369,23 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._track_detached(result.detached)
         self.tracker.add_attached(dot, result.timestamp)
         self._absorb_own_issue(dot, result.timestamp, result.detached)
+        detached = result.detached
         ack = MProposeAck(
             dot,
             timestamp=result.timestamp,
             attached=frozenset({Promise(self.process_id, result.timestamp)}),
-            detached=frozenset(
-                Promise(self.process_id, timestamp) for timestamp in result.detached
+            detached=(
+                {self.process_id: ((detached[0], detached[-1]),)} if detached else {}
             ),
         )
         if self.ack_broadcast:
             # Send the ack to the whole fast quorum so every member can
             # detect the fast-path commit without the coordinator round.
-            targets = sorted(set(record.quorums.get(self.partition, (sender,))))
+            quorum = record.quorums.get(self.partition, (sender,))
+            targets = self._ack_target_cache.get(quorum)
+            if targets is None:
+                targets = sorted(set(quorum))
+                self._ack_target_cache[quorum] = targets
             self.send(targets, ack, now)
         else:
             self.send([sender], ack, now)
@@ -374,11 +426,14 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             return
         record.proposals[sender] = message.timestamp
         record.collected_attached.update(message.attached)
-        record.collected_detached.update(message.detached)
+        if message.detached:
+            record.collected_detached.update(message.detached)
         fast_quorum = record.quorums.get(self.partition, ())
-        if set(fast_quorum) - set(record.proposals):
-            return
-        proposals = [record.proposals[process] for process in fast_quorum]
+        proposal_map = record.proposals
+        for process in fast_quorum:
+            if process not in proposal_map:
+                return
+        proposals = [proposal_map[process] for process in fast_quorum]
         timestamp = max(proposals)
         count = sum(1 for proposal in proposals if proposal == timestamp)
         is_coordinator = bool(fast_quorum) and fast_quorum[0] == self.process_id
@@ -399,13 +454,14 @@ class TempoProcess(RecoveryMixin, ProcessBase):
     ) -> None:
         """A non-coordinator fast-quorum member observed the fast-path commit
         for its own partition (``ack_broadcast`` optimisation)."""
-        peers = set(self.partition_peers())
-        for promise in record.collected_detached:
-            if promise.process in peers:
-                self.promises.add(promise)
+        peers = self.partition_peer_set()
+        if record.collected_detached:
+            self.promises.absorb_ranges(record.collected_detached.to_wire(), only=peers)
         for promise in record.collected_attached:
             if promise.process in peers:
-                self._buffered_attached.setdefault(dot, set()).add(promise)
+                self._buffered_attached.setdefault(dot, []).append(
+                    (promise.process, promise.timestamp)
+                )
         record.partition_commits[self.partition] = max(
             record.partition_commits.get(self.partition, 0), timestamp
         )
@@ -420,7 +476,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             timestamp=timestamp,
             partition=self.partition,
             attached=frozenset(record.collected_attached),
-            detached=frozenset(record.collected_detached),
+            detached=record.collected_detached.to_wire(),
         )
         self.send(self._targets_for(record.quorums), commit, now)
 
@@ -464,13 +520,14 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         )
         # Piggybacked promises: only promises issued by processes of this
         # partition matter for the local stability detection.
-        peers = set(self.partition_peers())
-        for promise in message.detached:
-            if promise.process in peers:
-                self.promises.add(promise)
+        peers = self.partition_peer_set()
+        if message.detached:
+            self.promises.absorb_ranges(message.detached, only=peers)
         for promise in message.attached:
             if promise.process in peers:
-                self._buffered_attached.setdefault(dot, set()).add(promise)
+                self._buffered_attached.setdefault(dot, []).append(
+                    (promise.process, promise.timestamp)
+                )
         self._maybe_commit(dot, now)
 
     def _maybe_commit(self, dot: Dot, now: float) -> None:
@@ -479,10 +536,17 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         record = self._info.get(dot)
         if record is None or record.is_committed or not record.is_pending:
             return
-        partitions = record.accessed_partitions()
-        if not partitions or not partitions <= set(record.partition_commits):
+        quorums = record.quorums
+        if not quorums:
             return
-        final = max(record.partition_commits[partition] for partition in partitions)
+        partition_commits = record.partition_commits
+        final = 0
+        for partition in quorums:
+            committed = partition_commits.get(partition)
+            if committed is None:
+                return
+            if committed > final:
+                final = committed
         record.final_timestamp = final
         record.timestamp = final
         record.committed_at = now
@@ -493,25 +557,57 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._track_detached(result.detached)
         self._absorb_detached(result.detached)
         # Attached promises for this identifier become usable now (line 47).
-        for promise in self._buffered_attached.pop(dot, set()):
-            self.promises.add(promise)
+        buffered = self._buffered_attached.pop(dot, None)
+        if buffered:
+            add_timestamp = self.promises.add_timestamp
+            for process, timestamp in buffered:
+                add_timestamp(process, timestamp)
         # Committing may immediately make new timestamps stable (the
-        # piggybacked promises typically suffice); react right away instead
-        # of waiting for the next periodic check.
-        self.stability_check(now)
+        # piggybacked promises typically suffice); react within this event-
+        # handling step instead of waiting for the next periodic check.
+        # Inside a delivery scope the check is enqueued and runs once per
+        # delivered batch (``_flush_step``) rather than once per commit.
+        self._schedule_stability_check(now)
 
     # ------------------------------------------------------------------ execution protocol
 
+    def _schedule_stability_check(self, now: float) -> None:
+        """Run a stability check once per delivery scope.
+
+        Inside a delivery scope (``_step_depth > 0``) the check is deferred
+        to the scope's :meth:`_flush_step`, coalescing the per-message
+        reactive work of an ``MBatch`` into one check at the same simulated
+        instant; outside a scope (tests driving ``on_message`` directly) it
+        runs immediately, preserving the historical behaviour.
+        """
+        if self._step_depth:
+            self._stability_dirty = True
+        else:
+            self.stability_check(now)
+
+    def _flush_step(self, now: float) -> None:
+        """Batch-delivery scope hook: one stability pass per delivered batch."""
+        if self._stability_dirty:
+            self._stability_dirty = False
+            self._execute_dirty = False
+            self.stability_check(now)
+        elif self._execute_dirty:
+            self._execute_dirty = False
+            self._try_execute(now)
+
     def _on_promises(self, sender: int, message: MPromises, now: float) -> None:
         """Absorb promises broadcast by a peer (Algorithm 2, line 46)."""
-        self.promises.add_all(message.detached)
+        if message.detached:
+            self.promises.absorb_ranges(message.detached)
         committed_hints = message.committed
         for dot, attached in message.attached.items():
             record = self._info.get(dot)
             if record is not None and record.is_committed:
                 self.promises.add_all(attached)
                 continue
-            self._buffered_attached.setdefault(dot, set()).update(attached)
+            self._buffered_attached.setdefault(dot, []).extend(
+                (promise.process, promise.timestamp) for promise in attached
+            )
             # The commit-metadata piggyback only replaces the request round
             # for identifiers this process knows nothing about: for those,
             # a peer reporting the commit proves the commit broadcast is in
@@ -524,7 +620,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                 self._note_commit_hint(dot, now)
             else:
                 self._request_commit_info(dot, now)
-        self.stability_check(now)
+        self._schedule_stability_check(now)
 
     def _note_commit_hint(self, dot: Dot, now: float) -> None:
         """Record that a peer reported ``dot`` as committed.
@@ -633,6 +729,9 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         quorum = record.quorums.get(self.partition, ())
         if not quorum:
             return None
+        cache = self._commit_info_target_cache
+        if quorum in cache:
+            return cache[quorum]
         coordinator = quorum[0]
         distance = self.quorum_system._distance
         members = [
@@ -640,6 +739,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             if member != coordinator and member != self.process_id
         ]
         if not members:
+            cache[quorum] = None
             return None
         nearest = min(
             members, key=lambda member: (distance(self.process_id, member), member)
@@ -652,7 +752,9 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                 continue
             if distance(self.process_id, peer) < nearest_distance:
                 targets.append(peer)
-        return sorted(targets)
+        targets = sorted(targets)
+        cache[quorum] = targets
+        return targets
 
     def _hint_tick(self, now: float) -> None:
         """Escalate stale commit hints to real MCommitRequests.
@@ -684,20 +786,30 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             return
         self.send([sender], MPayload(dot, record.command, dict(record.quorums)), now)
         final = record.final_timestamp or record.timestamp
-        for partition in sorted(record.accessed_partitions()):
+        for partition in sorted(record.quorums):
             self.send([sender], MCommit(dot, timestamp=final, partition=partition), now)
 
     def _on_stable(self, sender: int, message: MStable, now: float) -> None:
-        """Record a per-partition stability notification (Algorithm 6)."""
+        """Record a per-partition stability notification (Algorithm 6).
+
+        Inside a delivery scope the execution attempt is deferred to the
+        scope's flush, so a batch of MStables costs one heap scan instead of
+        one per notification; execution still happens within this very
+        event-handling step, in ``(timestamp, id)`` order, at the same
+        simulated instant.
+        """
         record = self.info(message.dot)
         record.stable_from.add(message.partition)
-        self._try_execute(now)
+        if self._step_depth:
+            self._execute_dirty = True
+        else:
+            self._try_execute(now)
 
     def broadcast_promises(self, now: float = 0.0) -> None:
         """Broadcast newly issued promises to the partition (line 44)."""
         if not self.tracker.has_pending():
             return
-        detached, attached = self.tracker.snapshot(drain=True)
+        detached_ranges, attached = self.tracker.snapshot_ranges(drain=True)
         committed = set()
         for dot in attached:
             record = self._info.get(dot)
@@ -705,7 +817,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                 committed.add(dot)
         message = MPromises(
             Dot(self.process_id, self.dot_generator.peek().sequence),
-            detached=detached,
+            detached={self.process_id: detached_ranges} if detached_ranges else {},
             attached=attached,
             committed=frozenset(committed),
         )
@@ -733,7 +845,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                 continue
             record.stable_sent = True
             heappush(self._stable_heap, (timestamp, dot))
-            targets = self._targets_for(record.accessed_partitions())
+            targets = self._stable_targets_for(record.quorums)
             self.send(targets, MStable(dot, partition=self.partition), now)
         self._try_execute(now)
 
@@ -860,7 +972,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                 record.command = None
                 record.proposals = {}
                 record.collected_attached = set()
-                record.collected_detached = set()
+                record.collected_detached = RangeCollector()
                 record.consensus_acks = {}
                 record.recovery_acks = {}
                 compacted += 1

@@ -32,9 +32,26 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.identifiers import Dot
+
+#: Wire encoding of detached promises: per process, the sorted disjoint
+#: inclusive ``(lo, hi)`` timestamp ranges it promised.  This is what the
+#: promise-carrying messages (``MPromises``, ``MProposeAck``, ``MCommit``)
+#: put on the wire instead of materialised ``Promise`` objects — see
+#: ``docs/promise_ranges.md``.
+PromiseRangeWire = Mapping[int, Tuple[Tuple[int, int], ...]]
 
 
 @dataclass(frozen=True, order=True)
@@ -149,6 +166,78 @@ def _materialise(process: int, ranges: Iterable[Tuple[int, int]]) -> FrozenSet[P
     )
 
 
+def range_wire_count(wire: PromiseRangeWire) -> int:
+    """Number of logical promises encoded by a range map.
+
+    The wire-size accounting of the promise-carrying messages charges per
+    logical promise, exactly as the historical ``FrozenSet[Promise]``
+    encoding did, so the byte counters are unaffected by the encoding.
+    """
+    return sum(
+        hi - lo + 1 for spans in wire.values() for lo, hi in spans
+    )
+
+
+def range_wire_promises(wire: PromiseRangeWire) -> FrozenSet[Promise]:
+    """Materialise a range map into ``Promise`` objects (tests/inspection)."""
+    return frozenset(
+        Promise(process, timestamp)
+        for process, spans in wire.items()
+        for lo, hi in spans
+        for timestamp in range(lo, hi + 1)
+    )
+
+
+class RangeCollector:
+    """Mutable per-process promise-range accumulator.
+
+    The coordinator collects the detached promises piggybacked on
+    ``MProposeAck`` messages into one of these (instead of a
+    ``Set[Promise]``) and reads them back out as ranges when building the
+    ``MCommit`` piggyback, so the contended fast path never materialises a
+    ``Promise`` object per skipped timestamp.
+    """
+
+    __slots__ = ("_by_process",)
+
+    def __init__(self) -> None:
+        self._by_process: Dict[int, _IntRanges] = {}
+
+    def __bool__(self) -> bool:
+        return any(self._by_process.values())
+
+    def add_range(self, process: int, lo: int, hi: int) -> None:
+        """Record the promises ``<process, lo..hi>``."""
+        if hi < lo:
+            return
+        ranges = self._by_process.get(process)
+        if ranges is None:
+            ranges = self._by_process[process] = _IntRanges()
+        ranges.add_range(lo, hi)
+
+    def update(self, wire: PromiseRangeWire) -> None:
+        """Merge a wire-encoded range map into the collector."""
+        for process, spans in wire.items():
+            for lo, hi in spans:
+                self.add_range(process, lo, hi)
+
+    def to_wire(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        """Wire encoding of the collected ranges."""
+        return {
+            process: tuple(ranges.ranges())
+            for process, ranges in self._by_process.items()
+            if ranges
+        }
+
+    def count(self) -> int:
+        """Number of logical promises collected."""
+        return sum(ranges.count() for ranges in self._by_process.values())
+
+    def promises(self) -> FrozenSet[Promise]:
+        """Materialised view (tests/inspection only)."""
+        return range_wire_promises(self.to_wire())
+
+
 class PromiseTracker:
     """Per-process accumulator of locally *issued* promises.
 
@@ -245,17 +334,30 @@ class PromiseTracker:
         removed from the pending set; with ``drain=False`` the full issued
         set is returned.
         """
+        detached_ranges, attached = self.snapshot_ranges(drain)
+        return _materialise(self.process, detached_ranges), attached
+
+    def snapshot_ranges(
+        self, drain: bool = True
+    ) -> Tuple[Tuple[Tuple[int, int], ...], Dict[Dot, FrozenSet[Promise]]]:
+        """Range-encoded variant of :meth:`snapshot`.
+
+        Returns the detached promises as sorted disjoint inclusive
+        ``(lo, hi)`` ranges (all of this tracker's own process), without
+        materialising a ``Promise`` object per timestamp; the attached
+        promises (one or two per command) stay materialised.
+        """
         if drain:
             process = self.process
-            detached = _materialise(process, self._pending_detached.ranges())
+            detached_ranges = tuple(self._pending_detached.ranges())
             attached = {
                 dot: frozenset(Promise(process, ts) for ts in timestamps)
                 for dot, timestamps in self._pending_attached.items()
             }
             self._pending_detached = _IntRanges()
             self._pending_attached = {}
-            return detached, attached
-        return self.detached(), self.attached()
+            return detached_ranges, attached
+        return tuple(self._detached.ranges()), self.attached()
 
     def has_pending(self) -> bool:
         """Whether there is anything new to broadcast."""
@@ -388,6 +490,24 @@ class PromiseSet:
         add_timestamp = self.add_timestamp
         for promise in promises:
             add_timestamp(promise.process, promise.timestamp)
+
+    def absorb_ranges(
+        self, wire: PromiseRangeWire, only: Optional[FrozenSet[int]] = None
+    ) -> None:
+        """Bulk-ingest a wire-encoded range map (see ``PromiseRangeWire``).
+
+        Cost is proportional to the number of *ranges*, not promises: each
+        range goes through :meth:`add_range`, which is O(1) when it extends
+        the process's contiguous frontier (the clock-jump common case).
+        ``only`` restricts absorption to the given processes (the receivers
+        of commit piggybacks only care about their own partition's peers).
+        """
+        add_range = self.add_range
+        for process, spans in wire.items():
+            if only is not None and process not in only:
+                continue
+            for lo, hi in spans:
+                add_range(process, lo, hi)
 
     def __contains__(self, promise: Promise) -> bool:
         frontier = self._frontier.get(promise.process, 0)

@@ -46,6 +46,11 @@ class NetworkStats:
     #: All per-message counters above count the *inner* messages, so batching
     #: never changes them.
     batches_sent: int = 0
+    #: Number of delivery events (an ``MBatch`` of any size counts once).
+    #: ``messages_delivered / deliveries`` is the measured MBatch coalescing
+    #: factor consumed by the analytic throughput model
+    #: (``CostModel.mbatch_coalescing``).
+    deliveries: int = 0
     per_kind: Dict[str, int] = field(default_factory=dict)
 
 
@@ -189,6 +194,7 @@ class Network:
         at = now + self.delay(sender, destination)
         deliver(at, sender, destination, message)
         self.stats.messages_delivered += 1
+        self.stats.deliveries += 1
         return at
 
     def transmit_batch(
@@ -255,6 +261,7 @@ class Network:
                 deliver(at, sender, destination, MBatch(tuple(messages)))
                 stats.batches_sent += 1
             stats.messages_delivered += count
+            stats.deliveries += 1
             return at
         survivors: List[object] = []
         for message in messages:
@@ -265,6 +272,7 @@ class Network:
             if jittery:
                 deliver(now + self.delay(sender, destination), sender, destination, message)
                 stats.messages_delivered += 1
+                stats.deliveries += 1
             else:
                 survivors.append(message)
         if not survivors:
@@ -276,4 +284,5 @@ class Network:
             deliver(at, sender, destination, MBatch(tuple(survivors)))
             stats.batches_sent += 1
         stats.messages_delivered += len(survivors)
+        stats.deliveries += 1
         return at

@@ -97,7 +97,7 @@ class TestUnknownCommands:
         ghost = Dot(0, 42)
         message = MPromises(
             Dot(2, 1),
-            detached=frozenset(),
+            detached={},
             attached={ghost: frozenset({Promise(2, 5)})},
         )
         target.deliver(2, message, 0.0)
@@ -134,9 +134,7 @@ class TestUnknownCommands:
     def test_detached_promises_from_unknown_processes_are_harmless(self):
         processes, _ = build()
         target = processes[0]
-        message = MPromises(
-            Dot(2, 1), detached=frozenset({Promise(2, 1), Promise(2, 2)})
-        )
+        message = MPromises(Dot(2, 1), detached={2: ((1, 2),)})
         target.deliver(2, message, 0.0)
         assert target.promises.highest_contiguous_promise(2) == 2
 

@@ -46,11 +46,18 @@ class TestSizes:
 
     def test_promises_size_scales_with_promise_count(self):
         empty = MPromises(Dot(0, 1))
-        loaded = MPromises(
-            Dot(0, 1),
-            detached=frozenset(Promise(0, timestamp) for timestamp in range(1, 11)),
-        )
+        loaded = MPromises(Dot(0, 1), detached={0: ((1, 10),)})
         assert loaded.size_bytes() > empty.size_bytes()
+
+    def test_range_encoded_detached_charges_per_logical_promise(self):
+        """A (lo, hi) range is charged as hi - lo + 1 promises, exactly the
+        byte count of the historical ``FrozenSet[Promise]`` encoding."""
+        as_range = MPromises(Dot(0, 1), detached={0: ((1, 10),)})
+        split = MPromises(Dot(0, 1), detached={0: ((1, 4), (6, 11))})
+        assert as_range.size_bytes() == split.size_bytes()
+        commit_range = MCommit(Dot(0, 1), 3, detached={1: ((2, 5),)})
+        commit_base = MCommit(Dot(0, 1), 3)
+        assert commit_range.size_bytes() - commit_base.size_bytes() == 4 * 12
 
     def test_all_message_types_report_positive_sizes(self):
         samples = [
@@ -93,14 +100,17 @@ class TestStructure:
             message.timestamp = 2  # type: ignore[misc]
 
     def test_propose_ack_carries_piggybacked_promises(self):
+        from repro.core.promises import range_wire_count, range_wire_promises
+
         ack = MProposeAck(
             Dot(0, 1),
             timestamp=5,
             attached=frozenset({Promise(1, 5)}),
-            detached=frozenset({Promise(1, 3), Promise(1, 4)}),
+            detached={1: ((3, 4),)},
         )
         assert Promise(1, 5) in ack.attached
-        assert len(ack.detached) == 2
+        assert range_wire_count(ack.detached) == 2
+        assert range_wire_promises(ack.detached) == {Promise(1, 3), Promise(1, 4)}
 
     def test_rec_ack_carries_phase_and_accepted_ballot(self):
         ack = MRecAck(Dot(0, 1), timestamp=4, phase=Phase.RECOVER_R, accepted_ballot=0, ballot=8)

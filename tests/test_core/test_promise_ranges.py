@@ -1,0 +1,249 @@
+"""Tests for the range-native promise pipeline.
+
+Covers the three properties the refactor relies on:
+
+* **round-trip equivalence** — tracker ranges -> wire -> ``PromiseSet``
+  absorption is indistinguishable from materialising every promise and
+  feeding it through the historical per-promise path;
+* **batch-scoped stability equivalence** — delivering a message sequence as
+  one ``MBatch`` produces exactly the same execution order, promise state
+  and outgoing traffic as delivering the messages one by one;
+* **allocation witness** — the detached hot path (clock jump -> tracker ->
+  broadcast -> absorption at a peer) materialises zero ``Promise`` objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commands import Partitioner
+from repro.core.config import ProtocolConfig
+from repro.core.identifiers import Dot
+from repro.core.messages import MCommit, MPayload, MPromises
+from repro.core.process import TempoProcess
+from repro.core.base import MBatch
+from repro.core.promises import (
+    Promise,
+    PromiseSet,
+    PromiseTracker,
+    RangeCollector,
+    range_wire_count,
+    range_wire_promises,
+)
+from repro.simulator.rng import SeededRng
+
+
+def build(r=3, ids=None):
+    config = ProtocolConfig(num_processes=r, faults=1)
+    partitioner = Partitioner(1)
+    return [
+        TempoProcess(process_id, config, partitioner=partitioner)
+        for process_id in (ids if ids is not None else range(r))
+    ]
+
+
+class TestRoundTrip:
+    def test_snapshot_ranges_equals_materialised_snapshot(self):
+        by_range = PromiseTracker(3)
+        by_set = PromiseTracker(3)
+        rng = SeededRng(11)
+        cursor = 1
+        for _ in range(50):
+            width = int(rng.uniform_between(1, 40))
+            gap = int(rng.uniform_between(0, 3))
+            lo = cursor + gap
+            hi = lo + width
+            by_range.add_detached_range(lo, hi)
+            by_set.add_detached(range(lo, hi + 1))
+            cursor = hi + 1
+        ranges, _ = by_range.snapshot_ranges(drain=False)
+        materialised, _ = by_set.snapshot(drain=False)
+        assert range_wire_promises({3: ranges}) == materialised
+
+    def test_wire_to_tracker_to_emitted_ranges_matches_promise_sets(self):
+        """ranges -> wire -> PromiseSet == the per-promise legacy path."""
+        rng = SeededRng(7)
+        wire = {}
+        for process in range(5):
+            spans = []
+            cursor = 1
+            for _ in range(10):
+                lo = cursor + int(rng.uniform_between(0, 4))
+                hi = lo + int(rng.uniform_between(0, 30))
+                spans.append((lo, hi))
+                cursor = hi + 2
+            wire[process] = tuple(spans)
+
+        via_ranges = PromiseSet()
+        via_ranges.absorb_ranges(wire)
+        via_promises = PromiseSet()
+        via_promises.add_all(range_wire_promises(wire))
+
+        processes = tuple(range(5))
+        assert len(via_ranges) == len(via_promises)
+        for process in processes:
+            assert via_ranges.highest_contiguous_promise(
+                process
+            ) == via_promises.highest_contiguous_promise(process)
+        assert via_ranges.stable_timestamp(processes) == via_promises.stable_timestamp(
+            processes
+        )
+
+    def test_absorb_ranges_respects_the_peer_filter(self):
+        promises = PromiseSet()
+        promises.absorb_ranges({0: ((1, 5),), 7: ((1, 9),)}, only=frozenset({0, 1, 2}))
+        assert promises.highest_contiguous_promise(0) == 5
+        assert promises.highest_contiguous_promise(7) == 0
+
+    def test_range_collector_equals_set_union(self):
+        collector = RangeCollector()
+        collector.update({1: ((4, 6),), 2: ((1, 1),)})
+        collector.update({1: ((5, 9), (12, 12)), 2: ((2, 3),)})
+        expected = (
+            {Promise(1, t) for t in (4, 5, 6, 7, 8, 9, 12)}
+            | {Promise(2, t) for t in (1, 2, 3)}
+        )
+        assert collector.promises() == expected
+        assert collector.count() == len(expected)
+        assert collector.to_wire() == {1: ((4, 9), (12, 12)), 2: ((1, 3),)}
+        assert range_wire_count(collector.to_wire()) == len(expected)
+
+
+def _drive(target, deliveries, batched: bool):
+    """Deliver ``deliveries`` (sender, message) to ``target`` one by one or
+    as a single MBatch from one sender, returning observable state."""
+    if batched:
+        sender = deliveries[0][0]
+        target.deliver(sender, MBatch(tuple(m for _, m in deliveries)), 1.0)
+    else:
+        for sender, message in deliveries:
+            target.deliver(sender, message, 1.0)
+    outbox = [type(envelope.message).__name__ for envelope in target.drain_outbox()]
+    return (
+        tuple(target.executed_dots()),
+        target.stable_timestamp(),
+        sorted(outbox),
+        len(target.promises),
+    )
+
+
+class TestBatchScopedStability:
+    def _deliveries(self, coordinator, target):
+        command_a = coordinator.new_command(["hot"])
+        command_b = coordinator.new_command(["hot"])
+        quorums = {0: tuple(coordinator.quorum_system.fast_quorum(0, 0))}
+        return [
+            (0, MPayload(command_a.dot, command_a, quorums)),
+            (0, MPayload(command_b.dot, command_b, quorums)),
+            (
+                0,
+                MCommit(
+                    command_a.dot,
+                    timestamp=1,
+                    partition=0,
+                    attached=frozenset({Promise(0, 1), Promise(1, 1)}),
+                ),
+            ),
+            (
+                0,
+                MCommit(
+                    command_b.dot,
+                    timestamp=2,
+                    partition=0,
+                    attached=frozenset({Promise(0, 2), Promise(1, 2)}),
+                ),
+            ),
+            (0, MPromises(Dot(0, 99), detached={0: ((3, 8),)})),
+        ]
+
+    def test_single_message_and_batched_delivery_are_equivalent(self):
+        """The batch-delivery scope must not change execution order, promise
+        state or emitted traffic — only *when* the reactive work runs."""
+        results = []
+        for batched in (False, True):
+            processes = build()
+            coordinator, target = processes[0], processes[2]
+            results.append(
+                _drive(target, self._deliveries(coordinator, target), batched)
+            )
+        assert results[0] == results[1]
+        executed, stable, _, _ = results[0]
+        assert len(executed) == 2  # both commands executed in (ts, id) order
+        assert stable >= 2
+
+    def test_direct_on_message_calls_keep_the_eager_behaviour(self):
+        """Tests (and runtimes) that bypass ``deliver`` still get the
+        historical react-immediately semantics."""
+        processes = build()
+        coordinator, target = processes[0], processes[2]
+        for sender, message in self._deliveries(coordinator, target):
+            target.on_message(sender, message, 1.0)
+        assert len(target.executed_dots()) == 2
+
+
+class TestStableNotificationTargets:
+    """MStable recipients: self plus *other*-partition processes only.
+
+    Same-partition peers derive stability locally (a command executes only
+    once the local check pops it), so notifying them is pure redundancy;
+    cross-partition processes cannot derive it and must be notified.
+    """
+
+    def test_single_partition_notifications_stay_local(self):
+        process = build()[1]
+        assert process._stable_targets_for({0: ()}) == [1]
+
+    def test_multi_partition_notifications_cover_other_partitions(self):
+        config = ProtocolConfig(num_processes=3, faults=1, num_partitions=2)
+        process = TempoProcess(1, config, partitioner=Partitioner(2))
+        targets = process._stable_targets_for({0: (), 1: ()})
+        other = set(config.processes_of_partition(1))
+        assert targets == sorted({1} | other)
+        assert not (set(config.processes_of_partition(0)) - {1}) & set(targets)
+
+
+class TestAllocationWitness:
+    @pytest.fixture
+    def promise_counter(self, monkeypatch):
+        import repro.core.promises as promises_module
+
+        counter = {"created": 0}
+        original = promises_module.Promise.__post_init__
+
+        def counting(self):
+            counter["created"] += 1
+            original(self)
+
+        monkeypatch.setattr(promises_module.Promise, "__post_init__", counting)
+        return counter
+
+    def test_detached_hot_path_materialises_no_promises(self, promise_counter):
+        """A clock jump of 10k timestamps crosses tracker, wire and a peer's
+        PromiseSet without creating a single Promise object."""
+        issuer, receiver = build(ids=(0, 1))
+        issuer.tracker.add_detached_range(1, 10_000)
+        issuer.promises.add_range(0, 1, 10_000)
+        issuer.broadcast_promises(now=1.0)
+        envelopes = issuer.drain_outbox()
+        messages = [
+            envelope.message
+            for envelope in envelopes
+            if type(envelope.message) is MPromises and envelope.destination == 1
+        ]
+        assert messages, "broadcast did not emit MPromises"
+        receiver.deliver(0, messages[0], 1.0)
+        assert receiver.promises.highest_contiguous_promise(0) == 10_000
+        assert promise_counter["created"] == 0
+
+    def test_commit_piggyback_path_materialises_no_detached_promises(
+        self, promise_counter
+    ):
+        """The MProposeAck -> RangeCollector -> MCommit -> PromiseSet chain
+        stays range-encoded end to end."""
+        collector = RangeCollector()
+        collector.update({1: ((1, 5_000),), 2: ((1, 4_999),)})
+        wire = collector.to_wire()
+        promises = PromiseSet()
+        promises.absorb_ranges(wire, only=frozenset({1, 2}))
+        assert promises.highest_contiguous_promise(1) == 5_000
+        assert promise_counter["created"] == 0
