@@ -1,0 +1,94 @@
+"""Micro-benchmark of the simulator scheduler (pytest-benchmark timings).
+
+Drives the timestamp-lane :class:`~repro.simulator.events.EventQueue`
+through a fig6-shaped workload: delivery delays drawn round-robin from the
+EC2 one-way latency set (plus the intra-site constant and the 5 ms tick),
+so events cluster on repeated timestamps exactly as the wide-area
+simulations produce them.  Tracked alongside ``BENCH_fig6.json``'s
+``events``/``heap_ops`` columns so scheduler regressions are visible both
+in isolation and end to end.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.events import EventKind, EventQueue
+
+#: One-way delays of the fig6 deployments: EC2 site pairs (half the Table 2
+#: pings), the intra-site constant, and the tick interval.
+FIG6_DELAYS = (0.25, 5.0, 36.0, 39.0, 61.5, 70.5, 90.5, 91.5, 93.0, 95.0, 110.5, 169.0)
+
+#: Events pushed through the scheduler per benchmark round.
+OPS = 50_000
+
+
+def drive_scheduler(queue: EventQueue, operations: int = OPS) -> int:
+    """Closed-loop push/pop: every popped event reschedules a successor,
+    with the delay chosen per *handling step* (as a broadcast does), so
+    same-step successors land on a shared timestamp — the clustering the
+    wide-area runs produce.  Mirrors the simulation loop's consumption
+    pattern (``pop_lane`` + lane iteration)."""
+    delays = FIG6_DELAYS
+    delay_count = len(delays)
+    schedule = queue.schedule_message
+    # Seed: a small broadcast per "site pair" — 3 messages per delay.
+    for index, delay in enumerate(delays):
+        for replica in range(3):
+            schedule(delay, 0, index * 3 + replica, None)
+    processed = 0
+    steps = 0
+    while processed < operations:
+        popped = queue.pop_lane()
+        if popped is None:
+            break
+        time, lane = popped
+        steps += 1
+        at = time + delays[steps % delay_count]
+        for _ in lane:
+            processed += 1
+            schedule(at, 0, processed, None)
+    return processed
+
+
+def test_bench_scheduler_fig6_shape(benchmark):
+    def run():
+        queue = EventQueue()
+        return drive_scheduler(queue), queue
+
+    processed, queue = benchmark(run)
+    assert processed >= OPS  # the last lane may overshoot by its length
+    # The scheduler's reason to exist: far fewer heap operations than
+    # events.  On this workload events share lanes, so the ratio stays
+    # clearly below the flat heap's 2 ops/event.
+    assert queue.heap_ops < 1.2 * OPS
+
+
+def test_bench_scheduler_single_instant_burst(benchmark):
+    """N events at one instant must cost one heap op (plus retirement)."""
+
+    def run():
+        queue = EventQueue()
+        schedule = queue.schedule_message
+        for index in range(10_000):
+            schedule(42.0, 0, index, None)
+        drained = 0
+        while queue.pop_lane() is not None:
+            drained += 1
+        return queue
+
+    queue = benchmark(run)
+    assert queue.heap_ops == 2
+
+def test_bench_scheduler_validated_push_tick_chain(benchmark):
+    """The validated ``push`` path, as the fused tick chain uses it."""
+
+    def run():
+        queue = EventQueue()
+        now = 0.0
+        for _ in range(10_000):
+            queue.push(now + 5.0, EventKind.TICK)
+            popped = queue.pop_lane()
+            now = popped[0]
+        return queue
+
+    queue = benchmark(run)
+    assert len(queue) == 0

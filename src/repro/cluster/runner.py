@@ -246,6 +246,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         "batches_sent": float(network_stats.batches_sent),
         "deliveries": float(network_stats.deliveries),
         "events": float(simulation.stats.events_processed),
+        "heap_ops": float(simulation.queue.heap_ops),
     }
     # Per-kind message counts (e.g. ``sent:MCommitRequest``) so message-
     # traffic regressions are visible to tests and the CI smoke job.

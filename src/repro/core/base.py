@@ -70,6 +70,13 @@ class ProcessBase(abc.ABC):
     the synchronous self-delivery used throughout the pseudocode.
     """
 
+    #: Type-indexed message dispatch table.  Every protocol populates an
+    #: instance attribute of this name in ``__init__``; :meth:`deliver`
+    #: dispatches through it directly (one pointer-hash dict probe per
+    #: message), skipping the :meth:`on_message` call frame.  Processes
+    #: without a table (``None``) fall back to :meth:`on_message`.
+    _dispatch: Optional[Dict[type, Callable[[int, object, float], None]]] = None
+
     def __init__(self, process_id: int, config: ProtocolConfig) -> None:
         self.process_id = process_id
         self.config = config
@@ -82,6 +89,10 @@ class ProcessBase(abc.ABC):
         #: synchronous self-addressed sends); ``_flush_step`` fires when the
         #: outermost delivery unwinds.
         self._step_depth = 0
+        #: Whether the subclass actually overrides :meth:`_flush_step`;
+        #: detected once here so :meth:`deliver` skips the no-op call frame
+        #: per delivery for protocols that don't use the hook.
+        self._wants_flush = type(self)._flush_step is not ProcessBase._flush_step
         self.outbox: List[Envelope] = []
         self.executed: List[Tuple[Dot, Command]] = []
         self._execution_listeners: List[ExecutionListener] = []
@@ -89,9 +100,11 @@ class ProcessBase(abc.ABC):
         #: Which peers this process currently believes to be alive; runtimes
         #: (or tests) update it to emulate a failure detector.
         self.alive_view: Dict[int, bool] = {}
-        #: Count of handled messages per kind, used by tests and the
-        #: resource model calibration.
-        self.message_counts: Dict[str, int] = {}
+        #: Count of handled messages per message *type*.  Keyed by class on
+        #: the hot path (pointer hashing beats string hashing); the public
+        #: :attr:`message_counts` property derives the kind-name view used
+        #: by tests and the resource model calibration.
+        self._message_counts: Dict[type, int] = {}
 
     # -- wiring ---------------------------------------------------------------
 
@@ -112,14 +125,24 @@ class ProcessBase(abc.ABC):
         synchronously rather than queued, matching the paper's assumption
         about self-addressed messages.
         """
+        process_id = self.process_id
+        if type(destinations) is list and len(destinations) == 1:
+            # Single-destination sends (acks, replies) dominate; skip the
+            # loop machinery for them.
+            destination = destinations[0]
+            if destination == process_id:
+                self.deliver(process_id, message, now)
+            else:
+                self.outbox.append(Envelope(process_id, destination, message))
+            return
         self_addressed = False
         for destination in destinations:
-            if destination == self.process_id:
+            if destination == process_id:
                 self_addressed = True
             else:
-                self.outbox.append(Envelope(self.process_id, destination, message))
+                self.outbox.append(Envelope(process_id, destination, message))
         if self_addressed:
-            self.deliver(self.process_id, message, now)
+            self.deliver(process_id, message, now)
 
     # -- runtime entry points --------------------------------------------------
 
@@ -140,21 +163,40 @@ class ProcessBase(abc.ABC):
             return
         depth = self._step_depth
         self._step_depth = depth + 1
-        message_counts = self.message_counts
+        counts = self._message_counts
+        dispatch = self._dispatch
         try:
             if type(message) is MBatch:
-                on_message = self.on_message
-                for inner in message.messages:
-                    kind = type(inner).__name__
-                    message_counts[kind] = message_counts.get(kind, 0) + 1
-                    on_message(sender, inner, now)
+                if dispatch is not None:
+                    dispatch_get = dispatch.get
+                    for inner in message.messages:
+                        message_type = inner.__class__
+                        counts[message_type] = counts.get(message_type, 0) + 1
+                        handler = dispatch_get(message_type)
+                        if handler is not None:
+                            handler(sender, inner, now)
+                        else:
+                            self.on_message(sender, inner, now)
+                else:
+                    on_message = self.on_message
+                    for inner in message.messages:
+                        message_type = inner.__class__
+                        counts[message_type] = counts.get(message_type, 0) + 1
+                        on_message(sender, inner, now)
             else:
-                kind = type(message).__name__
-                message_counts[kind] = message_counts.get(kind, 0) + 1
-                self.on_message(sender, message, now)
+                message_type = message.__class__
+                counts[message_type] = counts.get(message_type, 0) + 1
+                if dispatch is not None:
+                    handler = dispatch.get(message_type)
+                    if handler is not None:
+                        handler(sender, message, now)
+                    else:
+                        self.on_message(sender, message, now)
+                else:
+                    self.on_message(sender, message, now)
         finally:
             self._step_depth = depth
-        if depth == 0:
+        if depth == 0 and self._wants_flush:
             self._flush_step(now)
 
     def _flush_step(self, now: float) -> None:
@@ -177,6 +219,20 @@ class ProcessBase(abc.ABC):
 
         The default implementation does nothing; protocols override it.
         """
+
+    @property
+    def message_counts(self) -> Dict[str, int]:
+        """Count of handled messages per kind name (derived view of the
+        type-keyed hot-path counters)."""
+        return {
+            message_type.__name__: count
+            for message_type, count in self._message_counts.items()
+        }
+
+    def messages_handled(self) -> int:
+        """Total messages handled, without materialising the per-kind view
+        (the monitor samples this per process on a fixed interval)."""
+        return sum(self._message_counts.values())
 
     # -- failure injection ------------------------------------------------------
 

@@ -13,13 +13,18 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.core.commands import Command
-from repro.core.phases import Phase, transition
+from repro.core.phases import InvalidPhaseTransition, Phase
 from repro.core.promises import Promise, RangeCollector
 
 
-@dataclass
+@dataclass(slots=True)
 class CommandInfo:
-    """All per-identifier state at a single process."""
+    """All per-identifier state at a single process.
+
+    ``slots=True``: one record exists per command per process and every
+    per-message handler reads several fields, so slot access (and the
+    dict-free instantiation) is measurable on the simulator hot path.
+    """
 
     command: Optional[Command] = None
     quorums: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
@@ -52,12 +57,25 @@ class CommandInfo:
     first_seen_at: Optional[float] = None
 
     def move_to(self, new_phase: Phase) -> None:
-        """Transition to ``new_phase``, enforcing Figure 1."""
-        self.phase = transition(self.phase, new_phase)
+        """Transition to ``new_phase``, enforcing Figure 1.
+
+        Inlines :func:`repro.core.phases.transition` (identity fast paths,
+        tuple-scan validation): this runs on the per-message hot path.
+        """
+        phase = self.phase
+        if phase is new_phase:
+            return
+        if new_phase in phase._allowed_next:
+            self.phase = new_phase
+        else:
+            raise InvalidPhaseTransition(phase, new_phase)
 
     @property
     def is_pending(self) -> bool:
-        return self.phase.is_pending()
+        # Reads the membership flag stamped onto each Phase member — one
+        # call frame fewer than ``Phase.is_pending`` on the hot path, with
+        # the pending set defined in exactly one place (phases.py).
+        return self.phase._is_pending
 
     @property
     def is_committed(self) -> bool:

@@ -45,7 +45,10 @@ class Message:
 
 
 def _quorums_size(quorums: Mapping[int, Tuple[int, ...]]) -> int:
-    return sum(_QUORUM_ENTRY_BYTES * (1 + len(members)) for members in quorums.values())
+    size = 0
+    for members in quorums.values():
+        size += _QUORUM_ENTRY_BYTES * (1 + len(members))
+    return size
 
 
 def _promises_size(promises: FrozenSet[Promise]) -> int:

@@ -27,14 +27,10 @@ class Phase(enum.Enum):
 
     def is_pending(self) -> bool:
         """True for phases in the paper's ``pending`` set."""
-        # Identity chain rather than a frozenset probe: this sits on the
-        # per-message hot path and enum hashing is comparatively slow.
-        return (
-            self is Phase.PAYLOAD
-            or self is Phase.PROPOSE
-            or self is Phase.RECOVER_R
-            or self is Phase.RECOVER_P
-        )
+        # ``_is_pending`` is stamped onto each member below — the single
+        # source of truth the hot paths (``CommandInfo.is_pending``,
+        # ``TempoProcess._maybe_commit``) read without a call frame.
+        return self._is_pending
 
     def is_terminal(self) -> bool:
         """True once the command has been executed."""
@@ -43,20 +39,29 @@ class Phase(enum.Enum):
     def can_transition_to(self, new: "Phase") -> bool:
         """Whether the phase transition ``self -> new`` is allowed.
 
-        The allowed transitions follow Figure 1 of the paper.
+        The allowed transitions follow Figure 1 of the paper.  The probe
+        scans a small per-member tuple: ``in`` on a tuple of enum members
+        compares by identity, avoiding the enum hashing a set probe pays
+        (this runs once per phase move on the per-message hot path).
         """
-        return new in _TRANSITIONS[self]
+        return new in self._allowed_next
 
 
 _TRANSITIONS = {
-    Phase.START: frozenset({Phase.PAYLOAD, Phase.PROPOSE, Phase.COMMIT}),
-    Phase.PAYLOAD: frozenset({Phase.RECOVER_R, Phase.COMMIT}),
-    Phase.PROPOSE: frozenset({Phase.RECOVER_P, Phase.COMMIT}),
-    Phase.RECOVER_R: frozenset({Phase.RECOVER_P, Phase.COMMIT}),
-    Phase.RECOVER_P: frozenset({Phase.RECOVER_R, Phase.COMMIT}),
-    Phase.COMMIT: frozenset({Phase.EXECUTE}),
-    Phase.EXECUTE: frozenset(),
+    Phase.START: (Phase.PAYLOAD, Phase.PROPOSE, Phase.COMMIT),
+    Phase.PAYLOAD: (Phase.RECOVER_R, Phase.COMMIT),
+    Phase.PROPOSE: (Phase.RECOVER_P, Phase.COMMIT),
+    Phase.RECOVER_R: (Phase.RECOVER_P, Phase.COMMIT),
+    Phase.RECOVER_P: (Phase.RECOVER_R, Phase.COMMIT),
+    Phase.COMMIT: (Phase.EXECUTE,),
+    Phase.EXECUTE: (),
 }
+
+_PENDING = (Phase.PAYLOAD, Phase.PROPOSE, Phase.RECOVER_R, Phase.RECOVER_P)
+
+for _phase, _allowed in _TRANSITIONS.items():
+    _phase._allowed_next = _allowed
+    _phase._is_pending = _phase in _PENDING
 
 
 class InvalidPhaseTransition(RuntimeError):
@@ -77,6 +82,6 @@ def transition(current: Phase, new: Phase) -> Phase:
     """
     if current is new:
         return current
-    if not current.can_transition_to(new):
+    if new not in current._allowed_next:
         raise InvalidPhaseTransition(current, new)
     return new

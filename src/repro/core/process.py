@@ -16,7 +16,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.base import ProcessBase
+from repro.core.base import Envelope, ProcessBase
 from repro.core.clock import LogicalClock
 from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
@@ -261,9 +261,10 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         local promises too).
         """
         self._absorb_detached(detached)
-        self._buffered_attached.setdefault(dot, []).append(
-            (self.process_id, attached_timestamp)
-        )
+        buffered = self._buffered_attached.get(dot)
+        if buffered is None:
+            buffered = self._buffered_attached[dot] = []
+        buffered.append((self.process_id, attached_timestamp))
 
     def _absorb_detached(self, detached: Sequence[int]) -> None:
         # Clock jumps issue contiguous timestamps: absorb them as one range.
@@ -457,11 +458,14 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         peers = self.partition_peer_set()
         if record.collected_detached:
             self.promises.absorb_ranges(record.collected_detached.to_wire(), only=peers)
+        buffered = None
         for promise in record.collected_attached:
             if promise.process in peers:
-                self._buffered_attached.setdefault(dot, []).append(
-                    (promise.process, promise.timestamp)
-                )
+                if buffered is None:
+                    buffered = self._buffered_attached.get(dot)
+                    if buffered is None:
+                        buffered = self._buffered_attached[dot] = []
+                buffered.append((promise.process, promise.timestamp))
         record.partition_commits[self.partition] = max(
             record.partition_commits.get(self.partition, 0), timestamp
         )
@@ -523,18 +527,26 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         peers = self.partition_peer_set()
         if message.detached:
             self.promises.absorb_ranges(message.detached, only=peers)
+        buffered = None
         for promise in message.attached:
             if promise.process in peers:
-                self._buffered_attached.setdefault(dot, []).append(
-                    (promise.process, promise.timestamp)
-                )
+                if buffered is None:
+                    buffered = self._buffered_attached.get(dot)
+                    if buffered is None:
+                        buffered = self._buffered_attached[dot] = []
+                buffered.append((promise.process, promise.timestamp))
         self._maybe_commit(dot, now)
 
     def _maybe_commit(self, dot: Dot, now: float) -> None:
         """Move ``dot`` to the commit phase once every accessed partition has
         reported a committed timestamp (Algorithm 3, line 56)."""
         record = self._info.get(dot)
-        if record is None or record.is_committed or not record.is_pending:
+        if record is None:
+            return
+        # "committed or not pending" collapses to "not pending" (commit and
+        # execute are not pending phases); the membership flag stamped onto
+        # the Phase members skips two property frames per call.
+        if not record.phase._is_pending:
             return
         quorums = record.quorums
         if not quorums:
@@ -605,7 +617,10 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             if record is not None and record.is_committed:
                 self.promises.add_all(attached)
                 continue
-            self._buffered_attached.setdefault(dot, []).extend(
+            buffered = self._buffered_attached.get(dot)
+            if buffered is None:
+                buffered = self._buffered_attached[dot] = []
+            buffered.extend(
                 (promise.process, promise.timestamp) for promise in attached
             )
             # The commit-metadata piggyback only replaces the request round
@@ -882,8 +897,6 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             self.outbox.append(self._client_reply(dot, command, result))
 
     def _client_reply(self, dot: Dot, command: Command, result):
-        from repro.core.base import Envelope
-
         return Envelope(
             sender=self.process_id,
             destination=-(command.client_id + 1),

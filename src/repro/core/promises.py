@@ -173,9 +173,11 @@ def range_wire_count(wire: PromiseRangeWire) -> int:
     logical promise, exactly as the historical ``FrozenSet[Promise]``
     encoding did, so the byte counters are unaffected by the encoding.
     """
-    return sum(
-        hi - lo + 1 for spans in wire.values() for lo, hi in spans
-    )
+    count = 0
+    for spans in wire.values():
+        for lo, hi in spans:
+            count += hi - lo + 1
+    return count
 
 
 def range_wire_promises(wire: PromiseRangeWire) -> FrozenSet[Promise]:
@@ -429,18 +431,22 @@ class PromiseSet:
         frontier = self._frontier.get(process, 0)
         if timestamp <= frontier:
             return
-        pending = self._pending.setdefault(process, set())
         if timestamp == frontier + 1:
             frontier = timestamp
             self._size += 1
-            while frontier + 1 in pending:
-                frontier += 1
-                pending.remove(frontier)
+            pending = self._pending.get(process)
+            if pending:
+                while frontier + 1 in pending:
+                    frontier += 1
+                    pending.remove(frontier)
             self._frontier[process] = frontier
             if self._stable_cache:
                 self._stable_cache.clear()
             return
-        if timestamp in pending:
+        pending = self._pending.get(process)
+        if pending is None:
+            self._pending[process] = pending = set()
+        elif timestamp in pending:
             return
         pending.add(timestamp)
         self._size += 1
@@ -547,10 +553,12 @@ class PromiseSet:
         cached = self._stable_cache.get(key)
         if cached is not None:
             return cached
-        frontiers = sorted(self._frontier.get(process, 0) for process in key)
+        frontier_map = self._frontier
+        frontiers = [frontier_map.get(process, 0) for process in key]
         if not frontiers:
             value = 0
         else:
+            frontiers.sort()
             value = frontiers[(len(frontiers) - 1) // 2]
         self._stable_cache[key] = value
         return value

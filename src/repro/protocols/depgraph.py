@@ -221,17 +221,27 @@ class DependencyGraph:
         on_stack: Set[Dot] = set()
         stack: List[Dot] = []
         components: List[List[Dot]] = []
+        nodes = self._nodes
+        executed = self._executed
+        #: Neighbour lists computed once per node per pass: the iterative
+        #: Tarjan revisits a node once per recursion continuation, and
+        #: recomputing the filtered list each time re-paid a hash probe per
+        #: dependency.  The iteration order over ``dependencies`` (which
+        #: downstream fixes the component order) is unchanged.
+        neighbour_cache: Dict[Dot, List[Dot]] = {}
 
         def neighbours(dot: Dot) -> List[Dot]:
+            cached = neighbour_cache.get(dot)
+            if cached is not None:
+                return cached
             result = []
-            for dependency in self._nodes[dot].dependencies:
-                if dependency in self._executed:
-                    continue
-                if not self.is_committed(dependency):
+            for dependency in nodes[dot].dependencies:
+                if dependency in executed or dependency not in nodes:
                     continue
                 if not ignore_blocked and dependency in blocked:
                     continue
                 result.append(dependency)
+            neighbour_cache[dot] = result
             return result
 
         def strongconnect(root: Dot) -> None:

@@ -119,7 +119,7 @@ class SimulationMonitor:
 
     def _record(self, now: float) -> None:
         for process_id, process in self._processes.items():
-            handled = sum(process.message_counts.values())
+            handled = process.messages_handled()
             executed = len(process.executed)
             series = self.series[process_id]
             series.samples.append(

@@ -2,27 +2,41 @@
 
 A :class:`Simulation` owns a set of protocol processes (any
 :class:`repro.core.base.ProcessBase` subclass), a :class:`Network`, optional
-clients, and an event queue.  It repeatedly pops the earliest event, delivers
-it, drains the outbox of the affected process into new network events, and
-schedules periodic ticks.
+clients, and an event queue.  It repeatedly pops the earliest *timestamp
+lane* (every event scheduled at that instant, in insertion order — see
+:class:`repro.simulator.events.EventQueue`), delivers each event, drains the
+outbox of the affected process into new network events, and schedules
+periodic ticks.
 
 Time is measured in milliseconds of simulated time.
 
-Hot-path notes: the loop pops events straight off the queue's heap in
-batches of identical timestamps, dispatches on the event kind inline, and
-only drains the outbox of the process an event was delivered to — handlers
-can only ever append to their own process's outbox (self-addressed messages
-are delivered synchronously), so scanning every outbox after every event
-would be pure overhead.  Draining an outbox coalesces every message bound
-for the same destination into one ``MBatch`` delivery (see
-``route_envelopes`` and ``docs/batching.md``), so a broadcast-heavy step
-costs one heap push per destination instead of one per message.
+Hot-path notes:
+
+* the loop drains whole lanes via the public ``pop_lane`` API — one heap
+  operation per distinct timestamp instead of one per event;
+* MESSAGE events (the overwhelming majority) are dispatched inline; every
+  other kind goes through a table indexed by the ``EventKind`` value;
+* ticks are *fused*: one shared TICK event per interval walks every alive
+  process, instead of one event per process per interval;
+* the loop is split into a predicate-free fast variant and a predicated
+  variant, so the common path never tests ``_stop_predicate``;
+* only the outbox of the process an event was delivered to is drained —
+  handlers can only ever append to their own process's outbox
+  (self-addressed messages are delivered synchronously), so scanning every
+  outbox after every event would be pure overhead.  Draining an outbox
+  coalesces every message bound for the same destination into one ``MBatch``
+  delivery (see ``route_envelopes`` and ``docs/batching.md``), so a
+  broadcast-heavy step costs one scheduler call per destination instead of
+  one per message.
+
+See ``docs/event_loop.md`` for the ordering/determinism argument.
 """
 
 from __future__ import annotations
 
+import gc
+from collections import deque
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.base import Envelope, MBatch, ProcessBase
@@ -52,13 +66,30 @@ class SimulationOptions:
 
 @dataclass
 class SimulationStats:
-    """Counters exposed after a run."""
+    """Counters exposed after a run.
+
+    ``ticks`` counts per-process tick deliveries (P per interval), matching
+    the pre-fusion accounting even though the simulator now processes one
+    fused TICK event per interval.
+    """
 
     events_processed: int = 0
     messages_delivered: int = 0
     ticks: int = 0
     end_time: float = 0.0
-    per_process_messages: Dict[int, int] = field(default_factory=dict)
+    #: Messages delivered per process id.  Process ids are dense small
+    #: integers, so the hot-path accounting is a preallocated list indexed
+    #: by process id; the mapping view below is derived from it.
+    _per_process: List[int] = field(default_factory=list, repr=False)
+
+    @property
+    def per_process_messages(self) -> Dict[int, int]:
+        """Messages delivered per process id (processes that received any)."""
+        return {
+            process_id: count
+            for process_id, count in enumerate(self._per_process)
+            if count
+        }
 
 
 class Simulation:
@@ -78,12 +109,26 @@ class Simulation:
         self.queue = EventQueue()
         self.now = 0.0
         self.stats = SimulationStats()
+        self.stats._per_process = [0] * (
+            max(self.processes) + 1 if self.processes else 0
+        )
         #: Handlers for envelopes addressed to endpoints that are not
         #: processes (e.g. clients).  Keyed by endpoint id.
         self.external_endpoints: Dict[int, Callable[[int, object, float], None]] = {}
         self._stop_predicate: Optional[Callable[["Simulation"], bool]] = None
-        for process_id in self.processes:
-            self.queue.push(self.options.tick_interval, EventKind.TICK, target=process_id)
+        #: Dispatch table indexed by ``EventKind`` value; MESSAGE (slot 0)
+        #: is inlined in the run loops and never dispatched through it.
+        self._dispatch: Tuple[Optional[Callable[[int, object], None]], ...] = (
+            None,
+            self._handle_tick_event,
+            self._handle_client_event,
+            self._handle_crash_event,
+            self._handle_custom_event,
+        )
+        # One fused TICK event per interval walks every process; nothing to
+        # tick means no tick chain (and an immediately-quiescent queue).
+        if self.processes:
+            self.queue.push(self.options.tick_interval, _TICK)
 
     # -- wiring ----------------------------------------------------------------
 
@@ -131,13 +176,17 @@ class Simulation:
         both of A's together first.  Per-destination order is always
         preserved; the cross-destination reordering is accepted and is
         validated empirically by the byte-identical ``results/`` check.
+
+        Deliveries are scheduled through the queue's first-class
+        ``schedule_message`` API, whose signature is exactly the network's
+        ``deliver`` callback.
         """
         network = self.network
-        schedule_delivery = self._schedule_delivery
+        schedule_message = self.queue.schedule_message
         now = self.now
         if len(envelopes) == 1:
             sender, destination, message = envelopes[0]
-            network.transmit(sender, destination, message, now, schedule_delivery)
+            network.transmit(sender, destination, message, now, schedule_message)
             return
         groups: Dict[Tuple[int, int], List[object]] = {}
         for sender, destination, message in envelopes:
@@ -149,21 +198,9 @@ class Simulation:
                 bucket.append(message)
         for (sender, destination), messages in groups.items():
             if len(messages) == 1:
-                network.transmit(sender, destination, messages[0], now, schedule_delivery)
+                network.transmit(sender, destination, messages[0], now, schedule_message)
             else:
-                network.transmit_batch(sender, destination, messages, now, schedule_delivery)
-
-    def _schedule_delivery(
-        self, at: float, sender: int, destination: int, message: object
-    ) -> None:
-        # Hot path: push a plain tuple (same field order as Event, which is
-        # itself a tuple) straight onto the heap, skipping the NamedTuple
-        # constructor and the queue.push validation.
-        queue = self.queue
-        heappush(
-            queue._heap,
-            (at, next(queue._counter), _MESSAGE, destination, message, sender),
-        )
+                network.transmit_batch(sender, destination, messages, now, schedule_message)
 
     def _drain_process(self, process: ProcessBase) -> None:
         """Route the pending outbox of one process (the only one an event
@@ -184,88 +221,195 @@ class Simulation:
         """Run the simulation until ``until`` (or the configured maximum)."""
         horizon = min(until if until is not None else self.options.max_time,
                       self.options.max_time)
-        heap = self.queue._heap
+        # The loop allocates millions of short-lived objects (events,
+        # envelopes, messages); pausing the cyclic collector for the run
+        # avoids thousands of pointless generational passes.  Refcounting
+        # still frees everything promptly — the collector only exists for
+        # reference cycles, which the protocols do not create per event.
+        collector_was_enabled = gc.isenabled()
+        if collector_was_enabled:
+            gc.disable()
+        try:
+            if self._stop_predicate is None:
+                self._run_fast(horizon)
+            else:
+                self._run_predicated(horizon)
+        finally:
+            if collector_was_enabled:
+                gc.enable()
         stats = self.stats
-        processes = self.processes
-        external = self.external_endpoints
-        max_events = self.options.max_events
-        message_kind = EventKind.MESSAGE
-        tick_kind = EventKind.TICK
-        client_kind = EventKind.CLIENT
-        crash_kind = EventKind.CRASH
-        custom_kind = EventKind.CUSTOM
-        per_process = stats.per_process_messages
-        events_processed = stats.events_processed
-        while heap and events_processed < max_events:
-            if heap[0][0] > horizon:
-                break
-            time, _, kind, target, payload, sender = heappop(heap)
-            self.now = time
-            events_processed += 1
-            if kind is message_kind:
-                # Count logical messages, not delivery events: an MBatch is
-                # one event carrying several messages.
-                count = len(payload.messages) if type(payload) is MBatch else 1
-                stats.messages_delivered += count
-                process = processes.get(target)
-                if process is not None:
-                    per_process[target] = per_process.get(target, 0) + count
-                    process.deliver(sender, payload, time)
-                    if process.outbox:
-                        envelopes = process.outbox
-                        process.outbox = []
-                        self.route_envelopes(envelopes)
-                else:
-                    handler = external.get(target)
-                    if handler is not None:
-                        if type(payload) is MBatch:
-                            for message in payload.messages:
-                                handler(sender, message, time)
-                        else:
-                            handler(sender, payload, time)
-                        self.flush_outboxes()
-            elif kind is tick_kind:
-                self._handle_tick_event(target)
-            elif kind is client_kind:
-                self._handle_client_event(target, payload)
-            elif kind is crash_kind:
-                self._handle_crash_event(target)
-            elif kind is custom_kind:
-                payload(time)
-                self.flush_outboxes()
-            if self._stop_predicate is not None:
-                stats.events_processed = events_processed
-                if self._stop_predicate(self):
-                    break
-        stats.events_processed = events_processed
         stats.end_time = self.now
         return stats
 
+    def _run_fast(self, horizon: float) -> None:
+        """The common run loop: no stop predicate to test per event."""
+        queue = self.queue
+        pop_lane = queue.pop_lane
+        stats = self.stats
+        processes = self.processes
+        external = self.external_endpoints
+        route_envelopes = self.route_envelopes
+        dispatch = self._dispatch
+        max_events = self.options.max_events
+        message_kind = _MESSAGE
+        per_process = stats._per_process
+        events_processed = stats.events_processed
+        while events_processed < max_events:
+            popped = pop_lane(horizon)
+            if popped is None:
+                break
+            time, lane = popped
+            self.now = time
+            overflow = None
+            if len(lane) > max_events - events_processed:
+                # Rare: the event budget ends mid-lane.  Trim the tail so the
+                # cutoff is exact, and put it back afterwards.
+                overflow = deque()
+                budget = max_events - events_processed
+                while len(lane) > budget:
+                    overflow.appendleft(lane.pop())
+            events_processed += len(lane)
+            for event in lane:
+                _, kind, target, payload, sender = event
+                if kind is message_kind:
+                    # Count logical messages, not delivery events: an MBatch
+                    # is one event carrying several messages.
+                    count = len(payload.messages) if type(payload) is MBatch else 1
+                    stats.messages_delivered += count
+                    process = processes.get(target)
+                    if process is not None:
+                        try:
+                            per_process[target] += count
+                        except IndexError:
+                            # A process registered after construction (the
+                            # dict-era API allowed it): grow the table.
+                            per_process.extend(
+                                [0] * (target + 1 - len(per_process))
+                            )
+                            per_process[target] += count
+                        process.deliver(sender, payload, time)
+                        if process.outbox:
+                            envelopes = process.outbox
+                            process.outbox = []
+                            route_envelopes(envelopes)
+                    else:
+                        handler = external.get(target)
+                        if handler is not None:
+                            if type(payload) is MBatch:
+                                for message in payload.messages:
+                                    handler(sender, message, time)
+                            else:
+                                handler(sender, payload, time)
+                            self.flush_outboxes()
+                else:
+                    dispatch[kind](target, payload)
+            if overflow:
+                queue.requeue_lane(time, overflow)
+        stats.events_processed = events_processed
+
+    def _run_predicated(self, horizon: float) -> None:
+        """Run-loop variant testing the stop predicate after every event."""
+        queue = self.queue
+        stats = self.stats
+        processes = self.processes
+        external = self.external_endpoints
+        dispatch = self._dispatch
+        max_events = self.options.max_events
+        message_kind = _MESSAGE
+        predicate = self._stop_predicate
+        per_process = stats._per_process
+        events_processed = stats.events_processed
+        while events_processed < max_events:
+            popped = queue.pop_lane(horizon)
+            if popped is None:
+                break
+            time, lane = popped
+            self.now = time
+            stop = False
+            while lane:
+                _, kind, target, payload, sender = lane.popleft()
+                events_processed += 1
+                if kind is message_kind:
+                    count = len(payload.messages) if type(payload) is MBatch else 1
+                    stats.messages_delivered += count
+                    process = processes.get(target)
+                    if process is not None:
+                        try:
+                            per_process[target] += count
+                        except IndexError:
+                            # A process registered after construction (the
+                            # dict-era API allowed it): grow the table.
+                            per_process.extend(
+                                [0] * (target + 1 - len(per_process))
+                            )
+                            per_process[target] += count
+                        process.deliver(sender, payload, time)
+                        self._drain_process(process)
+                    else:
+                        handler = external.get(target)
+                        if handler is not None:
+                            if type(payload) is MBatch:
+                                for message in payload.messages:
+                                    handler(sender, message, time)
+                            else:
+                                handler(sender, payload, time)
+                            self.flush_outboxes()
+                else:
+                    dispatch[kind](target, payload)
+                stats.events_processed = events_processed
+                if predicate(self) or events_processed >= max_events:
+                    stop = True
+                    break
+            if lane:
+                queue.requeue_lane(time, lane)
+            if stop:
+                break
+        stats.events_processed = events_processed
+
     # -- event handlers --------------------------------------------------------------
 
-    def _handle_tick_event(self, process_id: int) -> None:
-        process = self.processes.get(process_id)
-        if process is None:
-            return
-        self.stats.ticks += 1
-        if process.alive:
-            process.tick(self.now)
-            self._drain_process(process)
-        queue = self.queue
-        heappush(
-            queue._heap,
-            (self.now + self.options.tick_interval, next(queue._counter), _TICK,
-             process_id, None, -1),
-        )
+    def _handle_tick_event(self, target: int, payload: object) -> None:
+        """One fused tick: walk every process, then schedule the next tick.
 
-    def _handle_client_event(self, process_id: int, command) -> None:
+        The walk order is the process-insertion order, which is exactly the
+        order the pre-fusion per-process TICK events popped in; ``stats.ticks``
+        still counts one tick per process per interval.
+
+        A TICK pushed with an explicit ``target`` (the seed's per-process
+        form, still valid through the public ``EventQueue.push``) keeps the
+        seed semantics: tick that one process and perpetuate a chain for it
+        alone, never spawning a second fused chain.
+        """
+        processes = self.processes
+        if target >= 0:
+            process = processes.get(target)
+            if process is None:
+                return
+            self.stats.ticks += 1
+            if process.alive:
+                process.tick(self.now)
+                self._drain_process(process)
+            self.queue.push(self.now + self.options.tick_interval, _TICK, target=target)
+            return
+        self.queue.push(self.now + self.options.tick_interval, _TICK)
+        self.stats.ticks += len(processes)
+        now = self.now
+        for process in processes.values():
+            if process.alive:
+                process.tick(now)
+                if process.outbox:
+                    envelopes = process.outbox
+                    process.outbox = []
+                    self.route_envelopes(envelopes)
+
+    def _handle_client_event(self, process_id: int, command: object) -> None:
         process = self.processes.get(process_id)
         if process is None or not process.alive:
             return
         process.submit(command, self.now)
         self._drain_process(process)
 
-    def _handle_crash_event(self, process_id: int) -> None:
+    def _handle_crash_event(self, process_id: int, payload: object) -> None:
         process = self.processes.get(process_id)
         if process is None:
             return
@@ -273,3 +417,7 @@ class Simulation:
         self.network.crash(process_id)
         for other in self.processes.values():
             other.set_alive_view(process_id, False)
+
+    def _handle_custom_event(self, target: int, callback) -> None:
+        callback(self.now)
+        self.flush_outboxes()

@@ -117,6 +117,20 @@ class TestFig6Traffic:
         promises = stats.get("sent:MPromises", 0.0)
         assert 700 < promises < 1_850, f"MPromises count drifted: {promises:.0f}"
 
+    def test_fig6_scheduler_columns_are_recorded(self):
+        """The experiment stats must expose the event-loop cost columns
+        (``events``, ``heap_ops``) that feed ``BENCH_fig6.json``, and the
+        timestamp-lane scheduler must do measurably less heap work than the
+        one-heap-op-per-event flat heap (2 ops/event) it replaced."""
+        stats = run_fig6_row("tempo", 1)
+        events = stats.get("events", 0.0)
+        heap_ops = stats.get("heap_ops", 0.0)
+        assert events > 5_000
+        assert 0 < heap_ops < 1.6 * events, (
+            f"scheduler win regressed: {heap_ops:.0f} heap ops for "
+            f"{events:.0f} events (flat heap would pay ~{2 * events:.0f})"
+        )
+
     def test_fig6_single_partition_sends_no_stable_messages(self):
         """Single-partition MStable notifications are self-addressed only
         (same-partition peers derive stability locally); any network MStable

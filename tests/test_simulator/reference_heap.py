@@ -1,0 +1,118 @@
+"""Reference single-heap event queue: the determinism witness.
+
+This is the seed scheduler — one binary heap over *every* event, ordered by
+``(time, insertion counter)`` — preserved as a drop-in replacement for
+:class:`repro.simulator.events.EventQueue`.  It exists so the determinism
+test (``test_scheduler_witness.py``) can run the same simulation under both
+schedulers and assert the event traces are identical: the timestamp-lane
+queue must order events exactly as the flat heap's ``(time, sequence)``
+tiebreak did, by construction.
+
+Not optimised — correctness reference only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Deque, Iterator, List, Optional, Tuple
+
+from repro.simulator.events import Event, EventKind
+
+_MESSAGE = EventKind.MESSAGE
+
+#: Base for the insertion counters handed out by :meth:`requeue_lane`:
+#: far below any normal counter, so requeued events order ahead of
+#: everything pushed at the same timestamp since the lane was popped.
+_REQUEUE_BASE = -(10**12)
+
+
+class HeapEventQueue:
+    """Flat-heap scheduler with the :class:`EventQueue` public API."""
+
+    def __init__(self) -> None:
+        #: Entries are ``(time, sequence, kind, target, payload, sender)``.
+        self._heap: List[Tuple] = []
+        self._counter = itertools.count()
+        self._requeue_counter = itertools.count(_REQUEUE_BASE)
+        self.heap_ops = 0
+
+    # -- scheduling -----------------------------------------------------------
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        target: int = -1,
+        payload: Any = None,
+        sender: int = -1,
+    ) -> Event:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        heappush(
+            self._heap, (time, next(self._counter), kind, target, payload, sender)
+        )
+        self.heap_ops += 1
+        return Event(time, kind, target, payload, sender)
+
+    def schedule_message(
+        self, at: float, sender: int, destination: int, payload: Any
+    ) -> None:
+        heappush(
+            self._heap,
+            (at, next(self._counter), _MESSAGE, destination, payload, sender),
+        )
+        self.heap_ops += 1
+
+    # -- consumption ----------------------------------------------------------
+
+    def pop(self) -> Optional[Event]:
+        if not self._heap:
+            return None
+        time, _, kind, target, payload, sender = heappop(self._heap)
+        self.heap_ops += 1
+        return Event(time, kind, target, payload, sender)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def pop_lane(
+        self, horizon: Optional[float] = None
+    ) -> Optional[Tuple[float, Deque[Tuple]]]:
+        """Every event at the earliest timestamp, in ``(time, sequence)``
+        order — the flat-heap equivalent of one timestamp lane."""
+        heap = self._heap
+        if not heap:
+            return None
+        time = heap[0][0]
+        if horizon is not None and time > horizon:
+            return None
+        lane: Deque[Tuple] = deque()
+        while heap and heap[0][0] == time:
+            _, _, kind, target, payload, sender = heappop(heap)
+            self.heap_ops += 1
+            lane.append((time, kind, target, payload, sender))
+        return time, lane
+
+    def requeue_lane(self, time: float, events) -> None:
+        for event in events:
+            heappush(
+                self._heap,
+                (time, next(self._requeue_counter)) + tuple(event[1:]),
+            )
+            self.heap_ops += 1
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        while self._heap:
+            event = self.pop()
+            if event is not None:
+                yield event

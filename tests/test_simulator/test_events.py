@@ -1,11 +1,11 @@
-"""Unit tests for the simulator event queue."""
+"""Unit and property tests for the timestamp-lane simulator event queue."""
 
 from __future__ import annotations
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.events import Event, EventKind, EventQueue
 
 
 class TestEventQueue:
@@ -68,3 +68,139 @@ class TestEventQueue:
         assert event.sender == 7
         assert event.target == 3
         assert event.kind is EventKind.MESSAGE
+
+    def test_schedule_message_pops_as_normalised_event(self):
+        queue = EventQueue()
+        queue.schedule_message(2.5, 4, 9, "payload")
+        event = queue.pop()
+        assert type(event) is Event
+        assert event == Event(2.5, EventKind.MESSAGE, 9, "payload", 4)
+
+    def test_schedule_message_is_validation_free(self):
+        """The hot path deliberately skips the ``time >= 0`` check (network
+        delays are non-negative by construction); only ``push`` validates."""
+        queue = EventQueue()
+        queue.schedule_message(-1.0, 0, 1, None)  # accepted, not rejected
+        assert queue.pop().time == -1.0
+        with pytest.raises(ValueError):
+            queue.push(-1.0, EventKind.MESSAGE)
+
+    def test_pop_lane_returns_whole_timestamp_in_fifo_order(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.MESSAGE, target=1)
+        queue.schedule_message(1.0, 5, 2, None)
+        queue.push(1.0, EventKind.TICK, target=3)
+        queue.push(2.0, EventKind.MESSAGE, target=4)
+        time, lane = queue.pop_lane()
+        assert time == 1.0
+        assert [event[2] for event in lane] == [1, 2, 3]
+        assert len(queue) == 1
+        assert queue.peek_time() == 2.0
+
+    def test_pop_lane_respects_horizon(self):
+        queue = EventQueue()
+        queue.push(10.0, EventKind.TICK)
+        assert queue.pop_lane(horizon=5.0) is None
+        assert len(queue) == 1
+        time, lane = queue.pop_lane(horizon=10.0)
+        assert time == 10.0 and len(lane) == 1
+
+    def test_requeue_lane_restores_order_ahead_of_new_pushes(self):
+        queue = EventQueue()
+        for target in (1, 2, 3):
+            queue.push(1.0, EventKind.MESSAGE, target=target)
+        time, lane = queue.pop_lane()
+        first = lane.popleft()
+        assert first.target == 1
+        # An event scheduled at the same instant while the lane is owned by
+        # the caller (as the simulation loop owns it) ...
+        queue.push(1.0, EventKind.MESSAGE, target=9)
+        # ... must come after the requeued remainder.
+        queue.requeue_lane(time, lane)
+        assert [queue.pop().target for _ in range(3)] == [2, 3, 9]
+
+    def test_requeue_empty_lane_is_a_no_op(self):
+        """An exhausted lane must not register a phantom timestamp."""
+        queue = EventQueue()
+        queue.push(1.0, EventKind.TICK)
+        time, lane = queue.pop_lane()
+        lane.popleft()
+        queue.requeue_lane(time, lane)
+        assert queue.peek_time() is None and len(queue) == 0
+        queue.push(2.0, EventKind.TICK)
+        assert queue.pop().time == 2.0
+
+    def test_heap_ops_counts_lane_creation_and_retirement(self):
+        queue = EventQueue()
+        for _ in range(10):
+            queue.schedule_message(1.0, 0, 1, None)
+        assert queue.heap_ops == 1  # ten events, one lane insert
+        queue.pop_lane()
+        assert queue.heap_ops == 2  # ... and one lane retirement
+
+
+class TestEventQueueProperties:
+    """Hypothesis properties of the two-level scheduler."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=200))
+    def test_fifo_within_a_timestamp(self, markers):
+        queue = EventQueue()
+        for index, _ in enumerate(markers):
+            queue.schedule_message(1.0, 0, index, None)
+        popped = [queue.pop().target for _ in range(len(markers))]
+        assert popped == list(range(len(markers)))
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([0.0, 0.25, 5.0, 36.0, 70.5]), st.integers()),
+            max_size=200,
+        )
+    )
+    def test_global_time_order_across_lanes_is_a_stable_sort(self, items):
+        queue = EventQueue()
+        for time, marker in items:
+            queue.push(time, EventKind.MESSAGE, payload=marker)
+        drained = [(event.time, event.payload) for event in queue]
+        assert drained == sorted(items, key=lambda item: item[0])
+        assert len(queue) == 0
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("push"),
+                    st.floats(min_value=0, max_value=100),
+                ),
+                st.tuples(st.just("pop"), st.none()),
+            ),
+            max_size=300,
+        )
+    )
+    def test_interleaved_push_pop_matches_a_sorted_model(self, operations):
+        queue = EventQueue()
+        model = []  # (time, global insertion order)
+        counter = 0
+        for operation, time in operations:
+            if operation == "push":
+                queue.push(time, EventKind.MESSAGE, payload=counter)
+                model.append((time, counter))
+                counter += 1
+            else:
+                expected = min(model, key=lambda item: (item[0], item[1]), default=None)
+                event = queue.pop()
+                if expected is None:
+                    assert event is None
+                else:
+                    assert (event.time, event.payload) == expected
+                    model.remove(expected)
+            assert len(queue) == len(model)
+            head = min(model, key=lambda item: (item[0], item[1]), default=None)
+            assert queue.peek_time() == (head[0] if head else None)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=120))
+    def test_drain_iterator_consumes_in_time_order(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, EventKind.CUSTOM)
+        assert [event.time for event in queue] == sorted(times)
+        assert not queue and queue.pop() is None

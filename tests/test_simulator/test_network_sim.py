@@ -159,6 +159,38 @@ class TestSimulationLoop:
         simulation.run(until=50.0)
         assert simulation.stats.ticks >= 3 * 9
 
+    def test_targeted_tick_keeps_the_seed_per_process_chain(self):
+        """A TICK pushed with an explicit target (the seed's per-process
+        form) ticks that process alone and perpetuates its own chain,
+        without spawning a second fused all-process chain."""
+        processes, simulation = self.build()
+        simulation.queue.push(2.0, EventKind.TICK, target=0)
+        simulation.run(until=20.0)
+        # Fused chain: 5, 10, 15, 20 -> 4 walks x 3 processes; targeted
+        # chain: 2, 7, 12, 17 -> 4 single ticks.
+        assert simulation.stats.ticks == 4 * 3 + 4
+
+    def test_process_registered_after_construction_is_accounted(self):
+        """The dict-era API allowed adding processes to a running deployment
+        (simulation.processes is public); the preallocated per-process
+        message table must grow rather than crash."""
+        config = ProtocolConfig(num_processes=3, faults=1)
+        partitioner = Partitioner(1)
+        processes = [
+            TempoProcess(process_id, config, partitioner=partitioner)
+            for process_id in range(3)
+        ]
+        matrix = uniform_latency_matrix(["a", "b", "c"], one_way_ms=10.0)
+        network = Network(matrix)
+        for process_id, site in zip(range(3), ["a", "b", "c"]):
+            network.place(process_id, site)
+        simulation = Simulation(processes[:2], network, SimulationOptions(max_time=2_000.0))
+        simulation.processes[2] = processes[2]
+        command = processes[0].new_command(["x"])
+        simulation.submit_at(1.0, 0, command)
+        simulation.run()
+        assert simulation.stats.per_process_messages.get(2, 0) > 0
+
 
 class TestInlineNetwork:
     def test_undeliverable_messages_are_collected(self):

@@ -1,0 +1,63 @@
+"""Gate: nothing outside ``events.py`` touches scheduler internals.
+
+The seed simulation loop reached into ``queue._heap`` / ``queue._counter``
+on its hot paths; the timestamp-lane rewrite replaced those with first-class
+APIs (``schedule_message``, ``pop_lane``, ``requeue_lane``).  This test
+greps the source tree so a private-attribute reach can never quietly come
+back — the public API must stay sufficient.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+#: Private attributes of :class:`repro.simulator.events.EventQueue`, plus
+#: the historical ones (``_heap``/``_counter`` on a queue), forbidden
+#: outside the module that defines them.
+_FORBIDDEN = re.compile(
+    r"queue\._"          # any private reach through a variable named queue
+    r"|\.queue\._"       # ... or an attribute named queue
+    r"|\._lanes\b"       # the lane table
+    r"|\._times\b"       # the timestamp heap
+)
+
+
+def test_no_scheduler_internals_reached_outside_events_py():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path.name == "events.py" and path.parent.name == "simulator":
+            continue
+        text = path.read_text(encoding="utf-8")
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            if _FORBIDDEN.search(line):
+                offenders.append(f"{path.relative_to(SRC_ROOT)}:{line_number}: {line.strip()}")
+    assert not offenders, (
+        "scheduler internals reached outside events.py (use push/"
+        "schedule_message/pop/pop_lane/requeue_lane/peek_time instead):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_public_api_is_sufficient_for_a_simulation_loop():
+    """Drive a miniature event loop through the public API only."""
+    from repro.simulator.events import EventKind, EventQueue
+
+    queue = EventQueue()
+    queue.push(5.0, EventKind.TICK, target=1)
+    queue.schedule_message(0.25, 0, 1, "hello")
+    queue.schedule_message(0.25, 1, 0, "world")
+    seen = []
+    while True:
+        popped = queue.pop_lane()
+        if popped is None:
+            break
+        time, lane = popped
+        for event in lane:
+            seen.append((time, int(event[1]), event[2]))
+    assert seen == [(0.25, 0, 1), (0.25, 0, 0), (5.0, 1, 1)]
+    assert queue.peek_time() is None and len(queue) == 0

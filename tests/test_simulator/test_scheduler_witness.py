@@ -1,0 +1,103 @@
+"""Determinism witness: lane scheduler vs reference flat-heap scheduler.
+
+The byte-identical ``results/*.txt`` guarantee rests on the claim that the
+two-level timestamp-lane queue orders events exactly as the seed's single
+binary heap (with its ``(time, insertion counter)`` tiebreak) did.  This
+test runs small fig5/fig6-shaped experiments under both schedulers and
+asserts the full ``(time, kind, target, sender)`` event trace — every event
+the simulation loop processes, in order — is identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.cluster.config import ExperimentConfig
+from repro.cluster.runner import run_experiment
+from repro.simulator.events import EventQueue
+
+# ``tests`` is not a package; pytest's rootdir import mode puts this test's
+# directory on ``sys.path``, so the reference queue imports flat.
+from reference_heap import HeapEventQueue
+
+Trace = List[Tuple[float, int, int, int]]
+
+
+def _tracing(queue_cls, trace: Trace):
+    """Subclass ``queue_cls`` so every event handed to the simulation loop
+    is appended to ``trace`` as ``(time, kind, target, sender)``."""
+
+    class Tracing(queue_cls):
+        def pop_lane(self, horizon=None):
+            popped = super().pop_lane(horizon)
+            if popped is not None:
+                time, lane = popped
+                for event in lane:
+                    trace.append((time, int(event[1]), event[2], event[4]))
+            return popped
+
+    return Tracing
+
+
+def _run_traced(queue_cls, config: ExperimentConfig, monkeypatch) -> Trace:
+    trace: Trace = []
+    with monkeypatch.context() as patch:
+        patch.setattr(
+            "repro.simulator.sim.EventQueue", _tracing(queue_cls, trace)
+        )
+        run_experiment(config)
+    return trace
+
+
+def _small_config(protocol: str, faults: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        protocol=protocol,
+        num_sites=5,
+        faults=faults,
+        clients_per_site=4,
+        conflict_rate=0.15,
+        duration_ms=1_000.0,
+        warmup_ms=200.0,
+        seed=1,
+    )
+
+
+class TestSchedulerWitness:
+    @pytest.mark.parametrize("protocol,faults", [("tempo", 1), ("atlas", 1)])
+    def test_event_trace_identical_under_both_schedulers(
+        self, protocol, faults, monkeypatch
+    ):
+        config = _small_config(protocol, faults)
+        lane_trace = _run_traced(EventQueue, config, monkeypatch)
+        heap_trace = _run_traced(HeapEventQueue, config, monkeypatch)
+        # A meaningful run: ticks, client submissions, deliveries, replies.
+        assert len(lane_trace) > 2_000
+        assert lane_trace == heap_trace
+
+    def test_lane_scheduler_does_less_heap_work(self, monkeypatch):
+        """The point of the two-level queue: one heap op per distinct
+        timestamp (x2: insert + retire), not one per event."""
+        config = _small_config("tempo", 1)
+        captured = {}
+
+        def capture(queue_cls, key):
+            class Capturing(queue_cls):
+                def __init__(self):
+                    super().__init__()
+                    captured[key] = self
+
+            return Capturing
+
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                "repro.simulator.sim.EventQueue", capture(EventQueue, "lane")
+            )
+            run_experiment(config)
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                "repro.simulator.sim.EventQueue", capture(HeapEventQueue, "heap")
+            )
+            run_experiment(config)
+        assert captured["lane"].heap_ops < captured["heap"].heap_ops
