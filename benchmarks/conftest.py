@@ -81,9 +81,24 @@ def pytest_configure(config):
 # The fig6 tail benchmark doubles as the perf-regression canary for the
 # simulator hot path; its wall time and per-run message counts are written
 # to BENCH_fig6.json so CI (and PR reviews) can diff the numbers without
-# scraping pytest output.
+# scraping pytest output.  The wire-codec microbenchmark contributes its
+# ``codec_ns``/``encoded_bytes`` columns to the same artifact; partial runs
+# (only fig6, or only the codec bench) merge into the existing file instead
+# of dropping the other benchmark's columns.
 
 _BENCH_FIG6: Dict[str, object] = {}
+_CODEC_BENCH: Dict[str, object] = {}
+
+
+@pytest.fixture
+def codec_bench_recorder():
+    """Fixture for the codec bench to publish its artifact columns."""
+
+    def record(codec_ns: Dict[str, float], encoded_bytes: Dict[str, int]) -> None:
+        _CODEC_BENCH["codec_ns"] = dict(sorted(codec_ns.items()))
+        _CODEC_BENCH["encoded_bytes"] = dict(sorted(encoded_bytes.items()))
+
+    return record
 
 
 @pytest.hookimpl(hookwrapper=True)
@@ -103,22 +118,35 @@ def pytest_runtest_logreport(report):
 
 
 def _write_bench_fig6_artifact() -> None:
-    if "wall_seconds" not in _BENCH_FIG6:
+    if "wall_seconds" not in _BENCH_FIG6 and not _CODEC_BENCH:
         return
-    traffic = _BENCH_FIG6.get("traffic", [])
-    totals: Dict[str, int] = {}
-    for row in traffic:
-        for key, value in row.items():
-            if key == "experiment":
-                continue
-            totals[key] = totals.get(key, 0) + int(value)
-    artifact = {
-        "benchmark": _BENCH_FIG6.get("nodeid"),
-        "outcome": _BENCH_FIG6.get("outcome"),
-        "wall_seconds": _BENCH_FIG6.get("wall_seconds"),
-        "message_counts": traffic,
-        "message_totals": totals,
-    }
+    # Merge into the existing artifact so a partial run (only fig6, or only
+    # the codec bench) keeps the other benchmark's columns.
+    try:
+        with open(BENCH_FIG6_PATH, encoding="utf-8") as handle:
+            artifact = json.load(handle)
+    except (OSError, ValueError):
+        artifact = {}
+    if "wall_seconds" in _BENCH_FIG6:
+        traffic = _BENCH_FIG6.get("traffic", [])
+        totals: Dict[str, int] = {}
+        for row in traffic:
+            for key, value in row.items():
+                if key == "experiment":
+                    continue
+                totals[key] = totals.get(key, 0) + int(value)
+        artifact.update(
+            {
+                "benchmark": _BENCH_FIG6.get("nodeid"),
+                "outcome": _BENCH_FIG6.get("outcome"),
+                "wall_seconds": _BENCH_FIG6.get("wall_seconds"),
+                "message_counts": traffic,
+                "message_totals": totals,
+            }
+        )
+    if _CODEC_BENCH:
+        artifact["codec_ns"] = _CODEC_BENCH["codec_ns"]
+        artifact["encoded_bytes"] = _CODEC_BENCH["encoded_bytes"]
     with open(BENCH_FIG6_PATH, "w", encoding="utf-8") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -126,11 +154,15 @@ def _write_bench_fig6_artifact() -> None:
 
 def pytest_terminal_summary(terminalreporter):
     _write_bench_fig6_artifact()
-    if "wall_seconds" in _BENCH_FIG6:
+    if "wall_seconds" in _BENCH_FIG6 or _CODEC_BENCH:
         terminalreporter.section("BENCH_fig6.json")
+        parts = []
+        if "wall_seconds" in _BENCH_FIG6:
+            parts.append(f"wall_seconds={_BENCH_FIG6['wall_seconds']}")
+        if _CODEC_BENCH:
+            parts.append(f"codec kinds={len(_CODEC_BENCH['codec_ns'])}")
         terminalreporter.write_line(
-            f"  wall_seconds={_BENCH_FIG6['wall_seconds']} "
-            f"(artifact at {os.path.normpath(BENCH_FIG6_PATH)})"
+            f"  {' '.join(parts)} (artifact at {os.path.normpath(BENCH_FIG6_PATH)})"
         )
     if not _TRAFFIC_LOG:
         return

@@ -36,6 +36,10 @@ class ExperimentConfig:
             e.g. the crash-during-contention tail benchmark).
         crash_shard: shard whose replica is crashed (default 0).
         crash_at_ms: simulated time of the injected crash.
+        measure_encoded_bytes: run every transmitted message through the
+            ``repro.wire`` codec and record measured frame sizes in the
+            ``encoded_*`` stats next to the ``size_bytes()`` estimates
+            (default off: the golden results charge the estimates only).
     """
 
     protocol: str = "tempo"
@@ -59,6 +63,7 @@ class ExperimentConfig:
     crash_site_rank: Optional[int] = None
     crash_shard: int = 0
     crash_at_ms: Optional[float] = None
+    measure_encoded_bytes: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sites < 1:

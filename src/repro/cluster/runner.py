@@ -90,7 +90,7 @@ class _Deployment:
         self.latency_matrix = ec2_latency_matrix(self.sites)
         self.network = Network(
             self.latency_matrix,
-            NetworkOptions(),
+            NetworkOptions(measure_encoded=config.measure_encoded_bytes),
             rng=SeededRng(config.seed),
         )
         self.quorum_system = QuorumSystem(
@@ -252,6 +252,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     # traffic regressions are visible to tests and the CI smoke job.
     for kind in sorted(network_stats.per_kind):
         stats[f"sent:{kind}"] = float(network_stats.per_kind[kind])
+    # Measured codec columns appear only when the run measured them
+    # (``measure_encoded_bytes``), keeping default stats dicts unchanged.
+    if config.measure_encoded_bytes:
+        stats["encoded_bytes"] = float(network_stats.encoded_bytes)
+        stats["encoded_batch_overhead"] = float(network_stats.encoded_batch_overhead)
+        for kind in sorted(network_stats.per_kind_encoded):
+            stats[f"encoded:{kind}"] = float(network_stats.per_kind_encoded[kind])
     result = ExperimentResult(
         config=config,
         latency=overall,

@@ -2,7 +2,12 @@
 
 Every message of Algorithms 1-6 is represented by a dataclass.  Messages
 know how to estimate their wire size (:meth:`Message.size_bytes`), which is
-what the resource/throughput model charges against the NIC budget.
+what the resource/throughput model charges against the NIC budget, and they
+have a real binary codec in :mod:`repro.wire` (:meth:`Message.encoded_size`
+is the *measured* frame size).  The estimate stays the default accounting —
+the golden ``results/*.txt`` files were frozen against it — and the
+estimate-vs-measured gap per kind is tracked by the wire drift report
+(``results/wire_drift.txt``, ``docs/wire_format.md``).
 
 Naming follows the paper: ``MSubmit``, ``MPropose``, ``MProposeAck``,
 ``MPayload``, ``MCommit``, ``MConsensus``, ``MConsensusAck``, ``MBump``,
@@ -37,6 +42,16 @@ class Message:
     def size_bytes(self) -> int:
         """Approximate serialized size, used by the resource model."""
         return _HEADER_BYTES
+
+    def encoded_size(self) -> int:
+        """Measured wire size: the length of this message's encoded frame.
+
+        Delegates to the :mod:`repro.wire` codec registry (imported lazily;
+        the wire package imports this module to register codecs).
+        """
+        from repro.wire import encoded_size
+
+        return encoded_size(self)
 
     @property
     def kind(self) -> str:

@@ -218,3 +218,24 @@ class MJanusDeps(Message):
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + 8 + _deps_size(self.dependencies)
+
+
+#: All baseline-protocol message classes, mirroring ``TEMPO_MESSAGE_TYPES``:
+#: dispatch tables, the wire-codec exhaustiveness gate and tests walk this.
+DEP_MESSAGE_TYPES = (
+    MPreAccept,
+    MPreAcceptAck,
+    MDepAccept,
+    MDepAcceptAck,
+    MDepCommit,
+    MCaesarPropose,
+    MCaesarProposeAck,
+    MCaesarRetry,
+    MCaesarRetryAck,
+    MCaesarCommit,
+    MForward,
+    MAccept,
+    MAccepted,
+    MDecided,
+    MJanusDeps,
+)

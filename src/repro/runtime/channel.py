@@ -1,10 +1,20 @@
-"""In-memory message channels for the asyncio runtime."""
+"""In-memory message channels for the asyncio runtime.
+
+With ``Router(wire_bytes=True)`` every protocol message travels through the
+queues as its real encoded frame (:mod:`repro.wire`): the router encodes on
+send and :meth:`Channel.get` decodes on receipt, so anything the runtime
+exercises also exercises the codecs end-to-end.  Payloads without a codec
+(plain strings, test sentinels) pass through unchanged; in wire mode a raw
+``bytes`` payload is reserved for frames.
+"""
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
+
+from repro.wire import decode_frame, encode_frame, has_codec
 
 
 @dataclass
@@ -13,16 +23,22 @@ class Channel:
 
     endpoint: int
     queue: "asyncio.Queue[Tuple[int, object]]"
+    #: Decode ``bytes`` entries as wire frames (set by ``Router`` in
+    #: ``wire_bytes`` mode).
+    wire: bool = False
 
     @classmethod
-    def create(cls, endpoint: int, maxsize: int = 0) -> "Channel":
-        return cls(endpoint=endpoint, queue=asyncio.Queue(maxsize=maxsize))
+    def create(cls, endpoint: int, maxsize: int = 0, wire: bool = False) -> "Channel":
+        return cls(endpoint=endpoint, queue=asyncio.Queue(maxsize=maxsize), wire=wire)
 
     async def put(self, sender: int, message: object) -> None:
         await self.queue.put((sender, message))
 
     async def get(self) -> Tuple[int, object]:
-        return await self.queue.get()
+        sender, message = await self.queue.get()
+        if self.wire and type(message) is bytes:
+            message, _ = decode_frame(message)
+        return sender, message
 
     def empty(self) -> bool:
         return self.queue.empty()
@@ -34,20 +50,28 @@ class Router:
     ``latency(sender, destination)`` returns the one-way delay in seconds;
     by default delivery is immediate.  Crashed endpoints drop messages,
     matching the crash-stop model.
+
+    With ``wire_bytes=True`` every message whose type has a registered
+    codec is encoded to its framed byte form before it enters the
+    destination queue and decoded back by :meth:`Channel.get`, so the
+    runtime ships real bytes rather than object references.
     """
 
-    def __init__(self, latency=None) -> None:
+    def __init__(self, latency=None, wire_bytes: bool = False) -> None:
         self._channels: Dict[int, Channel] = {}
         self._latency = latency
         self._crashed: set = set()
+        self.wire_bytes = wire_bytes
         self.delivered = 0
         self.dropped = 0
+        #: Total frame bytes shipped through the router in wire mode.
+        self.bytes_shipped = 0
 
     def register(self, endpoint: int) -> Channel:
         """Create (or return) the channel of ``endpoint``."""
         channel = self._channels.get(endpoint)
         if channel is None:
-            channel = Channel.create(endpoint)
+            channel = Channel.create(endpoint, wire=self.wire_bytes)
             self._channels[endpoint] = channel
         return channel
 
@@ -80,6 +104,10 @@ class Router:
         if channel is None:
             self.dropped += 1
             return
+        if self.wire_bytes and has_codec(type(message)):
+            frame = encode_frame(message)
+            self.bytes_shipped += len(frame)
+            message = frame
         if self._latency is not None:
             delay = self._latency(sender, destination)
             if delay > 0:

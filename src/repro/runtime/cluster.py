@@ -36,6 +36,10 @@ class AsyncClusterOptions:
     num_partitions: int = 1
     tick_interval: float = 0.005
     latency_seconds: float = 0.0
+    #: Ship protocol messages through the router as encoded wire frames
+    #: (encode on send, decode on receive).  On by default so every runtime
+    #: test exercises the :mod:`repro.wire` codec path end-to-end.
+    wire_bytes: bool = True
     protocol_kwargs: Dict[str, object] = field(default_factory=dict)
 
 
@@ -54,7 +58,7 @@ class AsyncCluster:
         latency = None
         if self.options.latency_seconds > 0:
             latency = lambda sender, destination: self.options.latency_seconds  # noqa: E731
-        self.router = Router(latency=latency)
+        self.router = Router(latency=latency, wire_bytes=self.options.wire_bytes)
         self.stores: Dict[int, KeyValueStore] = {}
         self.processes: List[ProcessBase] = []
         for process_id in range(self.config.total_processes()):

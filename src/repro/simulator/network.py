@@ -15,6 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.base import MBatch
 from repro.simulator.latency import LatencyMatrix
 from repro.simulator.rng import SeededRng
+from repro.wire import drift_rows, encoded_size
+from repro.wire.primitives import uvarint_size
 
 
 @dataclass
@@ -24,6 +26,13 @@ class NetworkOptions:
     jitter_ms: float = 0.0
     drop_probability: float = 0.0
     local_latency_ms: float = 0.25
+    #: When true, every transmitted message is additionally run through the
+    #: ``repro.wire`` codec and its *measured* frame size recorded in the
+    #: ``encoded_*`` stats columns, next to the ``size_bytes()`` estimates.
+    #: Off by default: the default accounting (and every ``results/*.txt``
+    #: golden file) charges the historical estimates only, and measuring
+    #: costs one encode per message.
+    measure_encoded: bool = False
 
     def __post_init__(self) -> None:
         if self.jitter_ms < 0:
@@ -52,6 +61,15 @@ class NetworkStats:
     #: (``CostModel.mbatch_coalescing``).
     deliveries: int = 0
     per_kind: Dict[str, int] = field(default_factory=dict)
+    #: Measured codec columns, populated only with
+    #: ``NetworkOptions.measure_encoded``: total encoded frame bytes of the
+    #: transmitted messages, the extra bytes the ``MBatch`` envelopes add on
+    #: top of their inner frames, and the per-kind measured/estimated byte
+    #: split feeding :meth:`Network.drift_report`.
+    encoded_bytes: int = 0
+    encoded_batch_overhead: int = 0
+    per_kind_encoded: Dict[str, int] = field(default_factory=dict)
+    per_kind_estimated: Dict[str, int] = field(default_factory=dict)
 
 
 class Network:
@@ -171,6 +189,42 @@ class Network:
             stats.bytes_sent += fixed_size
         elif size_method is not None:
             stats.bytes_sent += int(size_method(message))
+        if self.options.measure_encoded:
+            self._record_encoded(kind, size_method, fixed_size, message)
+
+    def _record_encoded(self, kind, size_method, fixed_size, message) -> int:
+        """Measured-size accounting for one message (measure mode only);
+        returns the measured frame size."""
+        stats = self.stats
+        measured = encoded_size(message)
+        stats.encoded_bytes += measured
+        per_kind_encoded = stats.per_kind_encoded
+        per_kind_encoded[kind] = per_kind_encoded.get(kind, 0) + measured
+        if fixed_size is not None:
+            estimate = fixed_size
+        elif size_method is not None:
+            estimate = int(size_method(message))
+        else:
+            estimate = 0
+        per_kind_estimated = stats.per_kind_estimated
+        per_kind_estimated[kind] = per_kind_estimated.get(kind, 0) + estimate
+        return measured
+
+    def _record_batch_overhead(self, inner_frame_bytes: int, count: int) -> None:
+        """Extra measured bytes an ``MBatch`` envelope adds over its inner
+        frames: the kind byte, the inner-message count and the outer length
+        prefix (measure mode only)."""
+        payload_len = 1 + uvarint_size(count) + inner_frame_bytes
+        overhead = uvarint_size(payload_len) + 1 + uvarint_size(count)
+        self.stats.encoded_batch_overhead += overhead
+
+    def drift_report(self) -> List[Dict[str, object]]:
+        """Per-kind estimate-vs-measured drift rows for this network's
+        traffic (requires ``measure_encoded``; empty otherwise)."""
+        stats = self.stats
+        return drift_rows(
+            stats.per_kind_estimated, stats.per_kind_encoded, stats.per_kind
+        )
 
     def transmit(
         self,
@@ -203,6 +257,8 @@ class Network:
             stats.bytes_sent += fixed_size
         elif size_method is not None:
             stats.bytes_sent += int(size_method(message))
+        if self.options.measure_encoded:
+            self._record_encoded(kind, size_method, fixed_size, message)
         if destination in self._crashed or self.should_drop():
             stats.messages_dropped += 1
             return None
@@ -277,6 +333,17 @@ class Network:
                 index = run_end
             stats.messages_sent += count
             stats.bytes_sent += bytes_sent
+            if self.options.measure_encoded:
+                inner_frame_bytes = 0
+                for message in messages:
+                    info = type_info.get(message.__class__)
+                    if info is None:
+                        info = self._resolve_type_info(message.__class__)
+                    inner_frame_bytes += self._record_encoded(
+                        info[0], info[1], info[2], message
+                    )
+                if count > 1:
+                    self._record_batch_overhead(inner_frame_bytes, count)
             at = now + self._base_delay(sender, destination)
             if count == 1:
                 deliver(at, sender, destination, messages[0])
@@ -306,6 +373,11 @@ class Network:
         else:
             deliver(at, sender, destination, MBatch(tuple(survivors)))
             stats.batches_sent += 1
+            if self.options.measure_encoded:
+                self._record_batch_overhead(
+                    sum(encoded_size(message) for message in survivors),
+                    len(survivors),
+                )
         stats.messages_delivered += len(survivors)
         stats.deliveries += 1
         return at

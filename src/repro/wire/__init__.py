@@ -1,0 +1,46 @@
+"""Real wire format: per-kind binary codecs and framed byte transport.
+
+Every protocol message (Tempo's in :mod:`repro.core.messages`, the
+baselines' in :mod:`repro.protocols.dep_messages`) and the
+:class:`repro.core.base.MBatch` transport envelope has a registered binary
+codec with a ``decode(encode(m)) == m`` round-trip guarantee.  The
+simulator uses :func:`encoded_size` for measured byte accounting
+(``NetworkOptions.measure_encoded``), the asyncio runtime ships
+:func:`encode_frame` frames through its channels and stream transports,
+and the drift report compares the measured sizes against the historical
+``size_bytes()`` model.  See ``docs/wire_format.md``.
+"""
+
+from repro.wire.codecs import (
+    KIND_TO_TYPE,
+    TYPE_TO_KIND,
+    decode,
+    decode_frame,
+    encode,
+    encode_frame,
+    encoded_size,
+    has_codec,
+    registered_types,
+)
+from repro.wire.drift import DRIFT_THRESHOLD, drift_rows, drifted_kinds
+from repro.wire.primitives import Reader, WireError, read_uvarint_prefix
+from repro.wire.samples import sample_messages
+
+__all__ = [
+    "DRIFT_THRESHOLD",
+    "KIND_TO_TYPE",
+    "Reader",
+    "TYPE_TO_KIND",
+    "WireError",
+    "decode",
+    "decode_frame",
+    "drift_rows",
+    "drifted_kinds",
+    "encode",
+    "encode_frame",
+    "encoded_size",
+    "has_codec",
+    "read_uvarint_prefix",
+    "registered_types",
+    "sample_messages",
+]
