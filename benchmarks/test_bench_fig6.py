@@ -62,3 +62,16 @@ def test_bench_fig6_tail_percentiles(benchmark, results_emitter):
         by_key[("tempo f=1", 8)]["p99.9"]
     )
     assert atlas_growth >= tempo_growth - 50.0
+
+
+def test_bench_fig6_traced_cell_is_consistent(monkeypatch):
+    """One Figure 6 cell re-run with execution tracing: the recorded trace
+    must satisfy every PSMR/Tempo invariant (per-key order agreement,
+    timestamp monotonicity, execute-at-most-once, real-time order), and
+    tracing must be observation-only — identical latency results to the
+    untraced benchmark cell at the same parameters."""
+    options = fig6_tail.Figure6Options(duration_ms=1_500.0, warmup_ms=300.0)
+    baseline = fig6_tail.run_one("tempo", 1, 8, 0.15, options)
+    monkeypatch.setenv("REPRO_TRACE_CHECK", "1")
+    traced = fig6_tail.run_one("tempo", 1, 8, 0.15, options)
+    assert traced == baseline, "tracing perturbed the simulation"

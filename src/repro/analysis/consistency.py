@@ -1,0 +1,347 @@
+"""Consistency checks over recorded execution traces.
+
+Five invariants, together an executable form of the correctness argument of
+the paper (PSMR, §2; Tempo ordering, §3):
+
+1. **Execute-at-most-once** — no replica executes the same identifier twice.
+2. **Per-key order agreement** — replicas of one partition execute the
+   *conflicting* commands on any key in the same relative order (compared
+   on the identifiers both replicas executed, so run-end cutoffs and
+   crashes do not produce false positives).
+
+Ordering invariants apply to PSMR's conflict relation (§3.3): two commands
+conflict on a key only if at least one **writes** it.  Read-read pairs are
+legitimately unordered — the read/write-aware dependency protocols (Atlas,
+EPaxos, Janus*) record no dependency between two reads and their replicas
+may interleave them differently.
+3. **Per-key timestamp monotonicity** — a replica of a timestamp-ordered
+   protocol (Tempo, Caesar) executes the commands touching any one key in
+   strictly increasing ``(timestamp, id)`` order; an inversion is exactly
+   the footprint of a premature-stability bug.  The invariant is per key
+   because only conflicting commands are ordered: Caesar's wait condition
+   lets non-conflicting commands execute in either order.
+4. **Commit-timestamp agreement** — all replicas that executed an
+   identifier observed the same committed timestamp for it.
+5. **Real-time order** — if command ``a`` completed at its client before
+   command ``b`` was submitted and the two conflict (share a key), no
+   replica executes ``b`` before ``a``.
+
+All checks operate on the :class:`~repro.analysis.trace.ExecutionTraceRecorder`
+data only — they never re-run the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.identifiers import Dot
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found in a trace."""
+
+    code: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.detail}"
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of checking one trace."""
+
+    violations: List[Violation] = field(default_factory=list)
+    events: int = 0
+    processes: int = 0
+    commands: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"trace check: {status} — {self.events} executions across "
+            f"{self.processes} processes, {self.commands} commands"
+        )
+
+    def raise_if_violations(self) -> None:
+        if self.violations:
+            lines = "\n".join(str(violation) for violation in self.violations)
+            raise AssertionError(f"{self.summary()}\n{lines}")
+
+
+def check_trace(trace) -> ConsistencyReport:
+    """Run every consistency check over a recorded trace."""
+    report = ConsistencyReport(
+        events=trace.event_count(),
+        processes=len(trace.events_by_process),
+        commands=len(
+            {event.dot for events in trace.events_by_process.values() for event in events}
+            | set(trace.windows)
+        ),
+    )
+    violations = report.violations
+    _check_at_most_once(trace, violations)
+    _check_partition_order(trace, violations)
+    _check_timestamp_monotonicity(trace, violations)
+    _check_timestamp_agreement(trace, violations)
+    _check_real_time_order(trace, violations)
+    return report
+
+
+# -- individual checks -----------------------------------------------------------
+
+
+def _check_at_most_once(trace, violations: List[Violation]) -> None:
+    for process_id, events in trace.events_by_process.items():
+        seen = set()
+        for event in events:
+            if event.dot in seen:
+                violations.append(
+                    Violation(
+                        "execute-twice",
+                        f"process {process_id} executed {event.dot} more than once",
+                    )
+                )
+            seen.add(event.dot)
+
+
+def _writes_key(event, key: str) -> bool:
+    """Whether the command of ``event`` writes ``key`` (conservatively
+    ``True`` when the event carries no write-key information)."""
+    writes = getattr(event, "write_keys", None)
+    return True if writes is None else key in writes
+
+
+def _per_key_sequences(trace) -> Dict[str, Dict[int, List[Tuple[Dot, bool]]]]:
+    """``key -> process -> [(dot, writes_key)] executed touching the key``."""
+    sequences: Dict[str, Dict[int, List[Tuple[Dot, bool]]]] = {}
+    for process_id, events in trace.events_by_process.items():
+        for event in events:
+            for key in event.keys:
+                sequences.setdefault(key, {}).setdefault(process_id, []).append(
+                    (event.dot, _writes_key(event, key))
+                )
+    return sequences
+
+
+def _check_partition_order(trace, violations: List[Violation]) -> None:
+    """Replicas of one partition agree on the per-key *conflict* order.
+
+    Per key and replica pair, restricted to the identifiers both executed:
+    the writes must appear in the same order, and every read must see the
+    same number of preceding writes (i.e. every read-write pair is ordered
+    the same way).  Read-read pairs are unordered by design.
+    """
+    sequences = _per_key_sequences(trace)
+    partitions = trace.partitions
+    for key, per_process in sorted(sequences.items()):
+        by_partition: Dict[int, List[Tuple[int, List[Tuple[Dot, bool]]]]] = {}
+        for process_id, dots in per_process.items():
+            partition = partitions.get(process_id, 0)
+            by_partition.setdefault(partition, []).append((process_id, dots))
+        for partition, members in by_partition.items():
+            for index, (left_id, left) in enumerate(members):
+                left_set = {dot for dot, _ in left}
+                for right_id, right in members[index + 1 :]:
+                    common = left_set & {dot for dot, _ in right}
+                    if len(common) < 2:
+                        continue
+                    divergence = _conflict_order_divergence(left, right, common)
+                    if divergence is not None:
+                        violations.append(
+                            Violation(
+                                "order-divergence",
+                                f"key {key!r} partition {partition}: processes "
+                                f"{left_id} and {right_id} disagree — "
+                                f"{divergence}",
+                            )
+                        )
+                        # One witness per replica pair per key is enough.
+                        break
+
+
+def _conflict_order_divergence(left, right, common) -> Optional[str]:
+    """Compare two per-key sequences on their common conflicting pairs.
+
+    Returns a human-readable witness, or ``None`` if every write-write and
+    read-write pair appears in the same order on both sides.
+    """
+    left_writes = [dot for dot, is_write in left if is_write and dot in common]
+    right_writes = [dot for dot, is_write in right if is_write and dot in common]
+    if left_writes != right_writes:
+        return f"write order {left_writes} vs {right_writes}"
+    common_writes = set(left_writes)
+    # For each common read, the number of common writes executed before it
+    # must match: that pins every read-write pair without ordering reads
+    # against each other.
+    left_position = _write_positions(left, common, common_writes)
+    right_position = _write_positions(right, common, common_writes)
+    for dot, position in left_position.items():
+        other = right_position[dot]
+        if position != other:
+            return (
+                f"read {dot} follows {position} write(s) on one replica "
+                f"but {other} on the other"
+            )
+    return None
+
+
+def _write_positions(sequence, common, common_writes) -> Dict[Dot, int]:
+    """``read dot -> number of common writes executed before it``."""
+    positions: Dict[Dot, int] = {}
+    writes_seen = 0
+    for dot, is_write in sequence:
+        if dot not in common:
+            continue
+        if dot in common_writes:
+            writes_seen += 1
+        elif not is_write:
+            positions[dot] = writes_seen
+    return positions
+
+
+def _check_timestamp_monotonicity(trace, violations: List[Violation]) -> None:
+    """Per-key executions are strictly increasing in ``(timestamp, id)``.
+
+    An executed timestamp *below* its predecessor on the same key means a
+    command was executed before it was truly stable (a smaller-timestamped
+    conflicting command was still in flight).  Only same-key *conflicting*
+    pairs are compared — timestamp order is a property of conflicts:
+    Caesar's wait condition legally releases non-conflicting commands out
+    of timestamp order, and read-read pairs are never conflicts.  Tempo's
+    single stable heap happens to be globally monotone, which implies this.
+    """
+    for process_id, events in trace.events_by_process.items():
+        # Per key: the largest (timestamp, id) executed so far over all
+        # commands touching it, and over the writes only.  A write must
+        # exceed the former (it conflicts with everything), a read only the
+        # latter (reads do not conflict with reads).
+        max_any: Dict[str, Tuple[tuple, Dot]] = {}
+        max_write: Dict[str, Tuple[tuple, Dot]] = {}
+        flagged = set()
+        for event in events:
+            if event.timestamp is None:
+                continue
+            current = (event.timestamp, event.dot)
+            for key in event.keys:
+                is_write = _writes_key(event, key)
+                bound = max_any.get(key) if is_write else max_write.get(key)
+                if (
+                    bound is not None
+                    and current <= bound[0]
+                    and (bound[1], event.dot) not in flagged
+                ):
+                    # One report per inverted pair, even if they share
+                    # several keys.
+                    flagged.add((bound[1], event.dot))
+                    violations.append(
+                        Violation(
+                            "timestamp-order",
+                            f"process {process_id} executed {event.dot} at "
+                            f"timestamp {event.timestamp} after {bound[1]} "
+                            f"at timestamp {bound[0][0]} (key {key!r}) — "
+                            f"not stable when executed",
+                        )
+                    )
+                if key not in max_any or current > max_any[key][0]:
+                    max_any[key] = (current, event.dot)
+                if is_write and (key not in max_write or current > max_write[key][0]):
+                    max_write[key] = (current, event.dot)
+
+
+def _check_timestamp_agreement(trace, violations: List[Violation]) -> None:
+    """Every replica observed the same committed timestamp per identifier."""
+    observed: Dict[Dot, Dict[object, List[int]]] = {}
+    for process_id, events in trace.events_by_process.items():
+        for event in events:
+            if event.timestamp is None:
+                continue
+            observed.setdefault(event.dot, {}).setdefault(event.timestamp, []).append(
+                process_id
+            )
+    for dot, per_timestamp in observed.items():
+        if len(per_timestamp) > 1:
+            detail = ", ".join(
+                f"{timestamp} at {sorted(processes)}"
+                for timestamp, processes in sorted(
+                    per_timestamp.items(), key=lambda item: repr(item[0])
+                )
+            )
+            violations.append(
+                Violation(
+                    "timestamp-divergence",
+                    f"{dot} committed with different timestamps: {detail}",
+                )
+            )
+
+
+def _check_real_time_order(trace, violations: List[Violation]) -> None:
+    """PSMR real-time order: a command that completed before a conflicting
+    one was submitted executes first at every replica.
+
+    Per process and key, scan the executed sequence keeping the minimum
+    client-reply time over the suffix: an earlier-executed command whose
+    submit time is *after* some later-executed command's reply time is an
+    inversion.  Commands without a recorded window (e.g. submitted directly
+    in tests) are skipped.
+    """
+    windows = trace.windows
+    if not windows:
+        return
+    infinity = float("inf")
+    for process_id, events in trace.events_by_process.items():
+        per_key: Dict[str, List[Tuple[Dot, bool]]] = {}
+        for event in events:
+            for key in event.keys:
+                if event.dot in windows:
+                    per_key.setdefault(key, []).append(
+                        (event.dot, _writes_key(event, key))
+                    )
+        for key, sequence in per_key.items():
+            replies = [
+                windows[dot].replied_at
+                if windows[dot].replied_at is not None
+                else infinity
+                for dot, _ in sequence
+            ]
+            # suffix_min_any[i] = min reply time over sequence[i:];
+            # suffix_min_write[i] = the same over the writes in sequence[i:].
+            # An earlier-executed write is checked against any later command,
+            # an earlier-executed read only against later writes (a read
+            # pair is not a conflict, so its order carries no obligation).
+            suffix_min_any = list(replies)
+            suffix_min_write = [
+                reply if is_write else infinity
+                for reply, (_, is_write) in zip(replies, sequence)
+            ]
+            for index in range(len(sequence) - 2, -1, -1):
+                if suffix_min_any[index + 1] < suffix_min_any[index]:
+                    suffix_min_any[index] = suffix_min_any[index + 1]
+                if suffix_min_write[index + 1] < suffix_min_write[index]:
+                    suffix_min_write[index] = suffix_min_write[index + 1]
+            for index, (dot, is_write) in enumerate(sequence[:-1]):
+                submitted = windows[dot].submitted_at
+                suffix = suffix_min_any if is_write else suffix_min_write
+                if suffix[index + 1] < submitted:
+                    witness = next(
+                        later
+                        for later, later_write in sequence[index + 1 :]
+                        if (is_write or later_write)
+                        and windows[later].replied_at is not None
+                        and windows[later].replied_at < submitted
+                    )
+                    violations.append(
+                        Violation(
+                            "real-time-order",
+                            f"process {process_id} key {key!r}: executed {dot} "
+                            f"(submitted {submitted:.3f}) before {witness} "
+                            f"(replied {windows[witness].replied_at:.3f})",
+                        )
+                    )
+                    break

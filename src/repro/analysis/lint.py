@@ -1,0 +1,567 @@
+"""AST-based source gates, runnable as ``python -m repro.analysis.lint``.
+
+Each check returns :class:`LintFinding` records; the module exit code is
+non-zero when any check fails.  The checks promote the historical grep gates
+into real static analysis (import/alias aware) and add new repo-wide ones:
+
+* ``struct-outside-wire`` — ``struct`` (binary packing) imported outside
+  ``repro/wire/``; everything else talks in message objects.
+* ``scheduler-internals`` — private :class:`~repro.simulator.events.EventQueue`
+  state (``_lanes``, ``_times``, or any ``queue._x`` reach) touched outside
+  ``simulator/events.py``.
+* ``missing-slots`` — a registered hot class lost its ``__slots__`` /
+  ``@dataclass(slots=True)`` declaration.
+* ``codec-exhaustiveness`` — a :class:`~repro.core.messages.Message`
+  subclass without a wire codec or a canonical sample.
+* ``dispatch-completeness`` — a protocol module constructs a protocol
+  message its dispatch table cannot handle (Tempo's table must equal
+  ``TEMPO_MESSAGE_TYPES`` exactly).
+* ``nondeterminism`` — ``random`` or wall-clock ``time`` reads outside
+  ``simulator/rng.py`` and ``repro/runtime/`` (the simulator must be a
+  deterministic function of the seed).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint violation at one source location."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.code}] {self.message}"
+
+
+def _src_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _python_files(root: Path) -> List[Path]:
+    return sorted(root.rglob("*.py"))
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return str(path.relative_to(root.parent))
+    except ValueError:  # pragma: no cover - absolute fallback
+        return str(path)
+
+
+def _parse(path: Path) -> Optional[ast.AST]:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError:  # pragma: no cover - the tree must parse to be shipped
+        return None
+
+
+# -- struct stays inside repro/wire/ ---------------------------------------------
+
+
+def struct_import_findings(root: Optional[Path] = None) -> List[LintFinding]:
+    """``struct`` (or ``from struct import ...``) outside ``repro/wire/``."""
+    root = root or _src_root()
+    findings: List[LintFinding] = []
+    for path in _python_files(root):
+        if path.parent.name == "wire":
+            continue
+        tree = _parse(path)
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            modules: List[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                modules = [node.module or ""]
+            for module in modules:
+                if module == "struct" or module.startswith("struct."):
+                    findings.append(
+                        LintFinding(
+                            path=_relative(path, root),
+                            line=node.lineno,
+                            code="struct-outside-wire",
+                            message=(
+                                "binary packing belongs to the codec layer "
+                                "(repro/wire/)"
+                            ),
+                        )
+                    )
+    return findings
+
+
+# -- scheduler internals stay inside events.py -----------------------------------
+
+#: Private attributes of :class:`repro.simulator.events.EventQueue`.
+_SCHEDULER_PRIVATE = frozenset({"_times", "_lanes"})
+
+
+def scheduler_internal_findings(root: Optional[Path] = None) -> List[LintFinding]:
+    """Private scheduler state reached outside ``simulator/events.py``.
+
+    Flags attribute reads of the :class:`EventQueue` internals (``_lanes``,
+    ``_times``) anywhere, and *any* private attribute reached through a name
+    or attribute called ``queue`` (the historical ``queue._heap`` /
+    ``queue._counter`` pattern the public API replaced).
+    """
+    root = root or _src_root()
+    findings: List[LintFinding] = []
+    for path in _python_files(root):
+        if path.name == "events.py" and path.parent.name == "simulator":
+            continue
+        tree = _parse(path)
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            private = node.attr.startswith("_") and not node.attr.startswith("__")
+            if not private:
+                continue
+            value = node.value
+            via_queue = (isinstance(value, ast.Name) and value.id == "queue") or (
+                isinstance(value, ast.Attribute) and value.attr == "queue"
+            )
+            if node.attr in _SCHEDULER_PRIVATE or via_queue:
+                findings.append(
+                    LintFinding(
+                        path=_relative(path, root),
+                        line=node.lineno,
+                        code="scheduler-internals",
+                        message=(
+                            f"scheduler internal {node.attr!r} reached outside "
+                            "events.py (use push/schedule_message/pop_lane/"
+                            "requeue_lane/peek_time)"
+                        ),
+                    )
+                )
+    return findings
+
+
+# -- __slots__ on registered hot classes ----------------------------------------
+
+#: Classes on the simulator/protocol hot path that must stay dict-free.
+#: ``(module path relative to repro/, class name)``.
+HOT_CLASSES: Tuple[Tuple[str, str], ...] = (
+    ("core/info.py", "CommandInfo"),
+    ("core/promises.py", "_IntRanges"),
+    ("core/promises.py", "PromiseSet"),
+    ("simulator/events.py", "EventQueue"),
+    ("wire/primitives.py", "Reader"),
+    ("protocols/dependency.py", "KeyConflicts"),
+)
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = decorator.func
+            is_dataclass = (
+                isinstance(name, ast.Name) and name.id == "dataclass"
+            ) or (isinstance(name, ast.Attribute) and name.attr == "dataclass")
+            if is_dataclass:
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "slots"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def hot_class_slots_findings(root: Optional[Path] = None) -> List[LintFinding]:
+    """Registered hot classes must declare ``__slots__`` (or ``slots=True``)."""
+    root = root or _src_root()
+    findings: List[LintFinding] = []
+    for module, class_name in HOT_CLASSES:
+        path = root / module
+        tree = _parse(path) if path.exists() else None
+        if tree is None:
+            findings.append(
+                LintFinding(
+                    path=_relative(path, root),
+                    line=1,
+                    code="missing-slots",
+                    message=f"hot class {class_name} not found in {module}",
+                )
+            )
+            continue
+        found = False
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                found = True
+                if not _declares_slots(node):
+                    findings.append(
+                        LintFinding(
+                            path=_relative(path, root),
+                            line=node.lineno,
+                            code="missing-slots",
+                            message=(
+                                f"hot class {class_name} must declare __slots__ "
+                                "(or @dataclass(slots=True)) — it is allocated "
+                                "on the simulator hot path"
+                            ),
+                        )
+                    )
+        if not found:
+            findings.append(
+                LintFinding(
+                    path=_relative(path, root),
+                    line=1,
+                    code="missing-slots",
+                    message=f"hot class {class_name} not found in {module}",
+                )
+            )
+    return findings
+
+
+# -- codec + sample exhaustiveness ----------------------------------------------
+
+
+def codec_exhaustiveness_findings() -> List[LintFinding]:
+    """Every concrete ``Message`` subclass has a codec and a sample frame."""
+    import inspect
+
+    import repro.core.messages as core_messages
+    import repro.protocols.dep_messages as dep_messages
+    from repro.core.base import MBatch
+    from repro.core.messages import Message
+    from repro.wire import has_codec, registered_types, sample_messages
+
+    findings: List[LintFinding] = []
+    for module in (core_messages, dep_messages):
+        path = module.__name__.replace(".", "/") + ".py"
+        for _, obj in inspect.getmembers(module, inspect.isclass):
+            if (
+                issubclass(obj, Message)
+                and obj is not Message
+                and obj.__module__ == module.__name__
+                and not has_codec(obj)
+            ):
+                findings.append(
+                    LintFinding(
+                        path=path,
+                        line=1,
+                        code="codec-exhaustiveness",
+                        message=(
+                            f"{obj.__name__} has no wire codec — register it in "
+                            "repro/wire/codecs.py (_REGISTRY_SPEC)"
+                        ),
+                    )
+                )
+    if not has_codec(MBatch):
+        findings.append(
+            LintFinding(
+                path="repro/wire/codecs.py",
+                line=1,
+                code="codec-exhaustiveness",
+                message="the MBatch transport envelope has no codec",
+            )
+        )
+    sampled = {type(message) for message in sample_messages().values()}
+    for cls in registered_types():
+        if cls not in sampled:
+            findings.append(
+                LintFinding(
+                    path="repro/wire/codecs.py",
+                    line=1,
+                    code="codec-exhaustiveness",
+                    message=f"registered kind {cls.__name__} has no sample frame",
+                )
+            )
+    return findings
+
+
+# -- per-protocol dispatch completeness ------------------------------------------
+
+#: Messages legitimately constructed but never dispatched by a protocol:
+#: client-facing replies, and the transport envelope.
+_DISPATCH_EXEMPT = frozenset({"ClientReply", "ClientSubmit", "MBatch"})
+
+#: Module groups whose construction/dispatch sets are checked together (the
+#: Tempo state machine spans process.py and the recovery mixin).
+_DISPATCH_GROUPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("tempo", ("core/process.py", "core/recovery.py")),
+    # Atlas, EPaxos and Janus share DependencyProcessBase's dispatch table
+    # (Janus subclasses Atlas), so their construction sets are pooled.
+    (
+        "dependency-family",
+        (
+            "protocols/dependency.py",
+            "protocols/atlas.py",
+            "protocols/epaxos.py",
+            "protocols/janus.py",
+        ),
+    ),
+    ("caesar", ("protocols/caesar.py",)),
+    ("fpaxos", ("protocols/fpaxos.py",)),
+)
+
+
+def _message_class_names() -> Set[str]:
+    import inspect
+
+    import repro.core.messages as core_messages
+    import repro.protocols.dep_messages as dep_messages
+    from repro.core.messages import Message
+
+    names: Set[str] = set()
+    for module in (core_messages, dep_messages):
+        for name, obj in inspect.getmembers(module, inspect.isclass):
+            if issubclass(obj, Message) and obj is not Message:
+                names.add(name)
+    return names
+
+
+def _scan_module(path: Path, message_names: Set[str]) -> Tuple[Set[str], Set[str], int]:
+    """``(constructed, dispatch_keys, dispatch_line)`` for one module."""
+    constructed: Set[str] = set()
+    dispatch_keys: Set[str] = set()
+    dispatch_line = 1
+    tree = _parse(path)
+    if tree is None:
+        return constructed, dispatch_keys, dispatch_line
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in message_names:
+                constructed.add(name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            is_dispatch = any(
+                isinstance(target, ast.Attribute) and target.attr == "_dispatch"
+                for target in targets
+            )
+            if is_dispatch and isinstance(node.value, ast.Dict):
+                dispatch_line = node.lineno
+                for key in node.value.keys:
+                    if isinstance(key, ast.Name):
+                        dispatch_keys.add(key.id)
+    return constructed, dispatch_keys, dispatch_line
+
+
+def dispatch_completeness_findings(root: Optional[Path] = None) -> List[LintFinding]:
+    """A protocol's dispatch table covers every message it constructs.
+
+    A message class instantiated by a protocol group is on its wire; if the
+    group's ``_dispatch`` table cannot route it, a replica would raise (or
+    silently drop) on delivery.  Tempo's table must additionally equal
+    ``TEMPO_MESSAGE_TYPES`` exactly — the canonical list used by the wire
+    exhaustiveness tests.
+    """
+    root = root or _src_root()
+    message_names = _message_class_names()
+    findings: List[LintFinding] = []
+    for group, modules in _DISPATCH_GROUPS:
+        constructed: Set[str] = set()
+        dispatch_keys: Set[str] = set()
+        anchor_path = root / modules[0]
+        anchor_line = 1
+        for module in modules:
+            module_constructed, module_dispatch, line = _scan_module(
+                root / module, message_names
+            )
+            constructed |= module_constructed
+            if module_dispatch:
+                dispatch_keys |= module_dispatch
+                anchor_path = root / module
+                anchor_line = line
+        missing = sorted((constructed - _DISPATCH_EXEMPT) - dispatch_keys)
+        for name in missing:
+            findings.append(
+                LintFinding(
+                    path=_relative(anchor_path, root),
+                    line=anchor_line,
+                    code="dispatch-completeness",
+                    message=(
+                        f"{group}: {name} is constructed but missing from the "
+                        "_dispatch table — a replica cannot route it"
+                    ),
+                )
+            )
+        if group == "tempo":
+            from repro.core.messages import TEMPO_MESSAGE_TYPES
+
+            expected = {cls.__name__ for cls in TEMPO_MESSAGE_TYPES}
+            if dispatch_keys != expected:
+                drift = sorted(dispatch_keys.symmetric_difference(expected))
+                findings.append(
+                    LintFinding(
+                        path=_relative(anchor_path, root),
+                        line=anchor_line,
+                        code="dispatch-completeness",
+                        message=(
+                            "tempo dispatch table drifted from "
+                            f"TEMPO_MESSAGE_TYPES: {drift}"
+                        ),
+                    )
+                )
+    return findings
+
+
+# -- determinism ------------------------------------------------------------------
+
+#: Paths (relative to repro/) allowed to draw randomness or read wall clocks:
+#: the seeded RNG wrapper and the real asyncio runtime.
+_DETERMINISM_EXEMPT_PREFIXES = ("runtime/",)
+_DETERMINISM_EXEMPT_FILES = ("simulator/rng.py",)
+
+#: Wall-clock readers on the ``time`` module.
+_WALL_CLOCK_NAMES = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+
+
+def determinism_findings(root: Optional[Path] = None) -> List[LintFinding]:
+    """``random`` / wall-clock ``time`` reads outside the sanctioned modules.
+
+    Alias-aware: ``import random as r`` and ``from time import time as now``
+    are both caught.  Simulated runs must be a pure function of the seed —
+    every random draw goes through :class:`repro.simulator.rng.SeededRng`
+    and simulated time comes from the event clock.
+    """
+    root = root or _src_root()
+    findings: List[LintFinding] = []
+    for path in _python_files(root):
+        relative = path.relative_to(root).as_posix()
+        if relative in _DETERMINISM_EXEMPT_FILES or relative.startswith(
+            _DETERMINISM_EXEMPT_PREFIXES
+        ):
+            continue
+        tree = _parse(path)
+        if tree is None:
+            continue
+        time_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(
+                            LintFinding(
+                                path=_relative(path, root),
+                                line=node.lineno,
+                                code="nondeterminism",
+                                message=(
+                                    "import random outside simulator/rng.py — "
+                                    "draw through SeededRng instead"
+                                ),
+                            )
+                        )
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    findings.append(
+                        LintFinding(
+                            path=_relative(path, root),
+                            line=node.lineno,
+                            code="nondeterminism",
+                            message=(
+                                "from random import ... outside simulator/rng.py "
+                                "— draw through SeededRng instead"
+                            ),
+                        )
+                    )
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_NAMES:
+                            findings.append(
+                                LintFinding(
+                                    path=_relative(path, root),
+                                    line=node.lineno,
+                                    code="nondeterminism",
+                                    message=(
+                                        f"wall-clock time.{alias.name} outside the "
+                                        "runtime — simulated time comes from the "
+                                        "event clock"
+                                    ),
+                                )
+                            )
+        if not time_aliases:
+            continue
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in time_aliases
+                and node.attr in _WALL_CLOCK_NAMES
+            ):
+                findings.append(
+                    LintFinding(
+                        path=_relative(path, root),
+                        line=node.lineno,
+                        code="nondeterminism",
+                        message=(
+                            f"wall-clock time.{node.attr} outside the runtime — "
+                            "simulated time comes from the event clock"
+                        ),
+                    )
+                )
+    return findings
+
+
+# -- entry points -----------------------------------------------------------------
+
+ALL_CHECKS = (
+    ("struct-outside-wire", struct_import_findings),
+    ("scheduler-internals", scheduler_internal_findings),
+    ("missing-slots", hot_class_slots_findings),
+    ("codec-exhaustiveness", lambda root=None: codec_exhaustiveness_findings()),
+    ("dispatch-completeness", dispatch_completeness_findings),
+    ("nondeterminism", determinism_findings),
+)
+
+
+def run_all(root: Optional[Path] = None) -> List[LintFinding]:
+    """Run every lint over the source tree; returns all findings."""
+    findings: List[LintFinding] = []
+    for _, check in ALL_CHECKS:
+        findings.extend(check(root))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: print findings, return non-zero when any exist."""
+    findings = run_all()
+    for finding in findings:
+        print(finding)
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    if findings:
+        summary = ", ".join(f"{code}={count}" for code, count in sorted(counts.items()))
+        print(f"lint: {len(findings)} finding(s) ({summary})")
+        return 1
+    print(f"lint: OK ({len(ALL_CHECKS)} checks clean)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    sys.exit(main())

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro figure fig5 --clients 8
     python -m repro figure fig7
     python -m repro throughput --protocol tempo --payload 4096 --conflict 0.02
+    python -m repro check --protocol tempo
 
 The CLI is a thin wrapper over :mod:`repro.cluster` and
 :mod:`repro.experiments`; everything it prints can also be obtained
@@ -71,6 +72,21 @@ def _add_throughput_parser(subparsers) -> None:
     parser.add_argument("--shards", type=int, default=1)
 
 
+def _add_check_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "check",
+        help="run the correctness analyzer: repo lints plus a trace-checked simulation",
+    )
+    parser.add_argument("--protocol", default="tempo", choices=protocol_names())
+    parser.add_argument("--sites", type=int, default=3)
+    parser.add_argument("--faults", type=int, default=1)
+    parser.add_argument("--clients", type=int, default=2, help="closed-loop clients per site")
+    parser.add_argument("--conflict", type=float, default=0.5, help="conflict rate (high by default: conflicts exercise the ordering invariants)")
+    parser.add_argument("--duration", type=float, default=1_000.0, help="simulated duration (ms)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--skip-lint", action="store_true", help="only run the trace-checked simulation")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(subparsers)
     _add_figure_parser(subparsers)
     _add_throughput_parser(subparsers)
+    _add_check_parser(subparsers)
     return parser
 
 
@@ -195,6 +212,39 @@ def _command_throughput(args) -> int:
     return 0
 
 
+def _command_check(args) -> int:
+    failed = False
+    if not args.skip_lint:
+        from repro.analysis import lint
+
+        if lint.main([]) != 0:
+            failed = True
+        print()
+    config = ExperimentConfig(
+        protocol=args.protocol,
+        num_sites=args.sites,
+        faults=args.faults,
+        clients_per_site=args.clients,
+        conflict_rate=args.conflict,
+        duration_ms=args.duration,
+        warmup_ms=min(200.0, args.duration / 4.0),
+        seed=args.seed,
+        sites=EC2_REGIONS[: args.sites],
+        record_execution_trace=True,
+    )
+    try:
+        result = run_experiment(config)
+    except AssertionError as failure:
+        print(failure)
+        return 1
+    report = result.trace_report
+    print(
+        f"{args.protocol} r={args.sites} f={args.faults} "
+        f"conflict={args.conflict}: {report.summary()}"
+    )
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -207,6 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_figure(args)
     if args.command == "throughput":
         return _command_throughput(args)
+    if args.command == "check":
+        return _command_check(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

@@ -40,6 +40,12 @@ class ExperimentConfig:
             ``repro.wire`` codec and record measured frame sizes in the
             ``encoded_*`` stats next to the ``size_bytes()`` estimates
             (default off: the golden results charge the estimates only).
+        record_execution_trace: record every command execution (replica,
+            identifier, keys, committed timestamp) plus client submit/reply
+            windows, and run the :mod:`repro.analysis` consistency checks
+            over the trace after the run, raising on any violation.
+            Observation-only: a traced run produces identical results.
+            ``REPRO_TRACE_CHECK=1`` in the environment forces it on.
     """
 
     protocol: str = "tempo"
@@ -64,6 +70,7 @@ class ExperimentConfig:
     crash_shard: int = 0
     crash_at_ms: Optional[float] = None
     measure_encoded_bytes: bool = False
+    record_execution_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sites < 1:

@@ -13,9 +13,11 @@ the maximum-throughput figures use the analytical resource model in
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.trace import ExecutionTraceRecorder
 from repro.cluster.client import ClosedLoopClient
 from repro.cluster.config import ExperimentConfig
 from repro.core.base import ProcessBase
@@ -51,6 +53,10 @@ class ExperimentResult:
     #: The deployment the run executed on (processes, network, stores),
     #: kept so tests can assert on internal protocol state post-run.
     deployment: Optional[object] = field(default=None, repr=False)
+    #: Consistency report of the traced run (``record_execution_trace``),
+    #: ``None`` when tracing was off.  A report with violations never
+    #: reaches the caller: ``run_experiment`` raises instead.
+    trace_report: Optional[object] = field(default=None, repr=False)
 
     def mean_latency(self) -> float:
         return self.latency.mean()
@@ -168,6 +174,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     throughput = ThroughputTracker(warmup_ms=config.warmup_ms)
     clients: List[ClosedLoopClient] = []
 
+    recorder: Optional[ExecutionTraceRecorder] = None
+    if config.record_execution_trace or os.environ.get("REPRO_TRACE_CHECK") == "1":
+        recorder = ExecutionTraceRecorder().attach(deployment.processes)
+
     def make_submit(deployment: _Deployment):
         def submit(client: ClosedLoopClient, keys: List[str], is_read: bool, now: float) -> Command:
             shards = sorted({deployment.partitioner.partition_of(key) for key in keys})
@@ -185,6 +195,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             # latency of the network.
             delay = deployment.network.options.local_latency_ms
             simulation.submit_at(now + delay, target.process_id, command)
+            if recorder is not None:
+                recorder.note_submit(dot, keys, now)
             return command
 
         return submit
@@ -209,6 +221,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
             def handler(sender: int, message: object, now: float, client=client, site=site) -> None:
                 client.on_reply(sender, message, now)
+                if recorder is not None and hasattr(message, "dot"):
+                    recorder.note_reply(message.dot, now)
                 if now >= config.warmup_ms:
                     throughput.record(now, site)
 
@@ -259,6 +273,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         stats["encoded_batch_overhead"] = float(network_stats.encoded_batch_overhead)
         for kind in sorted(network_stats.per_kind_encoded):
             stats[f"encoded:{kind}"] = float(network_stats.per_kind_encoded[kind])
+    trace_report = None
+    if recorder is not None:
+        trace_report = recorder.check()
+        trace_report.raise_if_violations()
     result = ExperimentResult(
         config=config,
         latency=overall,
@@ -269,6 +287,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         per_site_throughput=throughput.ops_per_second_per_site(),
         stats=stats,
         deployment=deployment,
+        trace_report=trace_report,
     )
     for observer in EXPERIMENT_OBSERVERS:
         observer(config, result)

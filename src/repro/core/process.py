@@ -105,6 +105,9 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         #: slimmed request may be upgraded to a broadcast once — e.g. when
         #: recovery later needs an answer and the original target crashed.
         self._commit_requested: Dict[Dot, bool] = {}
+        #: Last time the recovery sweep force-re-sent an MCommitRequest per
+        #: dot, debouncing it to one broadcast per recovery-timeout window.
+        self._commit_rerequested: Dict[Dot, float] = {}
         #: Identifiers a promise broadcast reported as committed elsewhere
         #: (commit-metadata piggyback): the commit broadcast is known to be
         #: in flight, so no MCommitRequest is needed unless the hint goes
@@ -564,6 +567,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         record.committed_at = now
         record.move_to(Phase.COMMIT)
         self._committed[dot] = final
+        self._commit_rerequested.pop(dot, None)
         heappush(self._commit_heap, (final, dot))
         result = self.clock.bump(final)
         self._track_detached(result.detached)
@@ -957,6 +961,18 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                     )
             if self._should_attempt_recovery(dot):
                 self.recover(dot, now)
+            # A peer that already committed ignores MRec (§B.1), so a
+            # recovery that races a crashed coordinator's partial commit
+            # broadcast can stall with no acks: the outcome is then only
+            # learnable through MCommitRequest.  Re-request once per
+            # recovery-timeout window per dot — an every-tick broadcast
+            # floods the degraded period with tens of thousands of
+            # redundant requests.
+            last = self._commit_rerequested.get(dot)
+            if last is None or now - last >= self.config.recovery_timeout:
+                self._commit_rerequested[dot] = now
+                self._commit_requested.pop(dot, None)
+                self._request_commit_info(dot, now, force=True)
 
     # ------------------------------------------------------------------ introspection
 

@@ -91,6 +91,21 @@ class SimulationMonitor:
         simulation.schedule(self.interval_ms, self._sample)
         return self
 
+    def attach_trace_recorder(self, recorder=None):
+        """Subscribe an execution-trace recorder to the monitored processes.
+
+        Utilisation sampling and consistency checking observe the same
+        deployment, so the monitor doubles as the attachment point when a
+        simulation is driven without :func:`repro.cluster.runner.run_experiment`.
+        Returns the (possibly newly created) recorder.
+        """
+        from repro.analysis.trace import ExecutionTraceRecorder
+
+        if recorder is None:
+            recorder = ExecutionTraceRecorder()
+        recorder.attach(list(self._processes.values()))
+        return recorder
+
     def observe(self, processes: List[ProcessBase], now: float) -> None:
         """One-shot sampling outside a simulation (e.g. inline networks)."""
         for process in processes:

@@ -1,0 +1,189 @@
+"""Tests for the AST lint suite: repo-wide cleanliness plus seeded offenders.
+
+The seeded tests build a miniature ``repro``-shaped tree under ``tmp_path``
+and point each check's ``root`` at it, proving the checks actually fire (a
+lint that can never fail enforces nothing) and that the sanctioned locations
+(``repro/wire/``, ``simulator/events.py``, ``simulator/rng.py``,
+``runtime/``) are exempt.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import (
+    ALL_CHECKS,
+    determinism_findings,
+    hot_class_slots_findings,
+    run_all,
+    scheduler_internal_findings,
+    struct_import_findings,
+)
+
+
+def _tree(tmp_path: Path, files: dict) -> Path:
+    root = tmp_path / "repro"
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+class TestRepoWide:
+    def test_source_tree_is_clean(self):
+        findings = [str(finding) for finding in run_all()]
+        assert not findings, "\n".join(findings)
+
+    def test_module_entry_point_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "lint: OK" in result.stdout
+
+    def test_every_check_is_registered(self):
+        assert len(ALL_CHECKS) == 6
+        assert [name for name, _ in ALL_CHECKS] == [
+            "struct-outside-wire",
+            "scheduler-internals",
+            "missing-slots",
+            "codec-exhaustiveness",
+            "dispatch-completeness",
+            "nondeterminism",
+        ]
+
+
+class TestStructGate:
+    def test_import_outside_wire_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"core/codec.py": "import struct\n"})
+        findings = struct_import_findings(root)
+        assert [finding.code for finding in findings] == ["struct-outside-wire"]
+        assert findings[0].line == 1
+
+    def test_from_import_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"core/codec.py": "from struct import pack\n"})
+        assert struct_import_findings(root)
+
+    def test_wire_package_is_exempt(self, tmp_path):
+        root = _tree(tmp_path, {"wire/codecs.py": "import struct\n"})
+        assert not struct_import_findings(root)
+
+    def test_unrelated_imports_pass(self, tmp_path):
+        root = _tree(tmp_path, {"core/x.py": "import json\nimport io\n"})
+        assert not struct_import_findings(root)
+
+
+class TestSchedulerGate:
+    def test_private_lane_access_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"simulator/loop.py": "n = events._lanes\n"})
+        findings = scheduler_internal_findings(root)
+        assert [finding.code for finding in findings] == ["scheduler-internals"]
+
+    def test_any_private_reach_through_queue_is_flagged(self, tmp_path):
+        # The historical pattern the public API replaced: queue._heap.
+        root = _tree(tmp_path, {"simulator/loop.py": "x = queue._heap\n"})
+        assert scheduler_internal_findings(root)
+
+    def test_events_py_itself_is_exempt(self, tmp_path):
+        root = _tree(
+            tmp_path, {"simulator/events.py": "x = self._lanes\ny = queue._heap\n"}
+        )
+        assert not scheduler_internal_findings(root)
+
+    def test_other_private_attributes_pass(self, tmp_path):
+        root = _tree(tmp_path, {"simulator/loop.py": "x = process._info\n"})
+        assert not scheduler_internal_findings(root)
+
+
+class TestDeterminismGate:
+    def test_import_random_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"core/x.py": "import random\n"})
+        findings = determinism_findings(root)
+        assert [finding.code for finding in findings] == ["nondeterminism"]
+
+    def test_from_random_import_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"core/x.py": "from random import choice\n"})
+        assert determinism_findings(root)
+
+    def test_wall_clock_read_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"core/x.py": "import time\nt = time.time()\n"})
+        findings = determinism_findings(root)
+        assert findings and findings[0].line == 2
+
+    def test_aliased_wall_clock_read_is_flagged(self, tmp_path):
+        # Alias-aware: a grep for "time.time" misses this.
+        root = _tree(
+            tmp_path, {"core/x.py": "import time as clock\nt = clock.monotonic()\n"}
+        )
+        assert determinism_findings(root)
+
+    def test_from_time_import_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"core/x.py": "from time import perf_counter\n"})
+        assert determinism_findings(root)
+
+    def test_import_time_alone_passes(self, tmp_path):
+        # Importing the module is fine (e.g. for time.sleep in tooling);
+        # only wall-clock reads are nondeterministic.
+        root = _tree(tmp_path, {"core/x.py": "import time\ntime.sleep(0)\n"})
+        assert not determinism_findings(root)
+
+    def test_rng_module_is_exempt(self, tmp_path):
+        root = _tree(tmp_path, {"simulator/rng.py": "import random\n"})
+        assert not determinism_findings(root)
+
+    def test_runtime_package_is_exempt(self, tmp_path):
+        root = _tree(
+            tmp_path, {"runtime/loop.py": "import time\nt = time.monotonic()\n"}
+        )
+        assert not determinism_findings(root)
+
+
+class TestSlotsGate:
+    def test_registered_class_without_slots_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"core/info.py": "class CommandInfo:\n    pass\n"})
+        findings = [
+            finding
+            for finding in hot_class_slots_findings(root)
+            if "CommandInfo" in finding.message and "not found" not in finding.message
+        ]
+        assert [finding.code for finding in findings] == ["missing-slots"]
+
+    def test_dunder_slots_declaration_passes(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"core/info.py": "class CommandInfo:\n    __slots__ = ('x',)\n"},
+        )
+        assert not [
+            finding
+            for finding in hot_class_slots_findings(root)
+            if "CommandInfo" in finding.message and "not found" not in finding.message
+        ]
+
+    def test_dataclass_slots_true_passes(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "core/info.py": (
+                    "from dataclasses import dataclass\n"
+                    "@dataclass(slots=True)\n"
+                    "class CommandInfo:\n"
+                    "    x: int = 0\n"
+                )
+            },
+        )
+        assert not [
+            finding
+            for finding in hot_class_slots_findings(root)
+            if "CommandInfo" in finding.message and "not found" not in finding.message
+        ]
+
+    def test_missing_registered_file_is_flagged(self, tmp_path):
+        root = _tree(tmp_path, {"core/info.py": "class CommandInfo:\n    __slots__ = ()\n"})
+        findings = hot_class_slots_findings(root)
+        # Every other registered hot class is absent from the tiny tree.
+        assert any("not found" in finding.message for finding in findings)

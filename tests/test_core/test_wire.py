@@ -20,8 +20,6 @@ not leak outside ``repro/wire/`` — mirrors ``test_scheduler_api.py``.
 from __future__ import annotations
 
 import inspect
-import re
-from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
@@ -57,9 +55,6 @@ from repro.wire import (
     registered_types,
     sample_messages,
 )
-
-SRC_ROOT = Path(repro.__file__).resolve().parent
-
 
 def _message_classes():
     """Every concrete Message subclass defined in the two message modules."""
@@ -110,6 +105,13 @@ class TestExhaustiveness:
         assert TYPE_TO_KIND[dep_messages.MPreAccept] == 17
         assert TYPE_TO_KIND[dep_messages.MJanusDeps] == 31
         assert len(TYPE_TO_KIND) == 32
+
+    def test_codec_exhaustiveness_lint_agrees(self):
+        # The same closure properties, as enforced repo-wide by
+        # ``python -m repro.analysis.lint``.
+        from repro.analysis.lint import codec_exhaustiveness_findings
+
+        assert not [str(finding) for finding in codec_exhaustiveness_findings()]
 
 
 class TestRoundTrip:
@@ -313,22 +315,15 @@ class TestRejection:
                     pass
 
 
-#: ``struct``/binary packing is a wire concern: everything outside
-#: ``repro/wire/`` talks in message objects and lets the codecs do bytes.
-_STRUCT_IMPORT = re.compile(r"^\s*(import struct\b|from struct\b)")
-
-
 def test_struct_stays_inside_the_wire_package():
-    offenders = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        if path.parent.name == "wire":
-            continue
-        for line_number, line in enumerate(
-            path.read_text(encoding="utf-8").splitlines(), start=1
-        ):
-            if _STRUCT_IMPORT.search(line):
-                offenders.append(f"{path.relative_to(SRC_ROOT)}:{line_number}")
+    # struct/binary packing is a wire concern: everything outside
+    # ``repro/wire/`` talks in message objects and lets the codecs do
+    # bytes.  Enforced by the import-aware ``struct-outside-wire`` lint
+    # (also run repo-wide via ``python -m repro.analysis.lint`` in CI).
+    from repro.analysis.lint import struct_import_findings
+
+    offenders = [str(finding) for finding in struct_import_findings()]
     assert not offenders, (
-        f"struct imported outside repro/wire/: {offenders} — binary packing "
-        "belongs to the codec layer"
+        "struct imported outside repro/wire/ — binary packing belongs to "
+        "the codec layer:\n" + "\n".join(offenders)
     )

@@ -2,40 +2,20 @@
 
 The seed simulation loop reached into ``queue._heap`` / ``queue._counter``
 on its hot paths; the timestamp-lane rewrite replaced those with first-class
-APIs (``schedule_message``, ``pop_lane``, ``requeue_lane``).  This test
-greps the source tree so a private-attribute reach can never quietly come
-back — the public API must stay sufficient.
+APIs (``schedule_message``, ``pop_lane``, ``requeue_lane``).  The gate is
+the AST-based ``scheduler-internals`` lint from :mod:`repro.analysis.lint`
+(also enforced repo-wide by ``python -m repro.analysis.lint`` in CI) — a
+private-attribute reach can never quietly come back, and the public API
+must stay sufficient.
 """
 
 from __future__ import annotations
 
-import re
-from pathlib import Path
-
-import repro
-
-SRC_ROOT = Path(repro.__file__).resolve().parent
-
-#: Private attributes of :class:`repro.simulator.events.EventQueue`, plus
-#: the historical ones (``_heap``/``_counter`` on a queue), forbidden
-#: outside the module that defines them.
-_FORBIDDEN = re.compile(
-    r"queue\._"          # any private reach through a variable named queue
-    r"|\.queue\._"       # ... or an attribute named queue
-    r"|\._lanes\b"       # the lane table
-    r"|\._times\b"       # the timestamp heap
-)
+from repro.analysis.lint import scheduler_internal_findings
 
 
 def test_no_scheduler_internals_reached_outside_events_py():
-    offenders = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        if path.name == "events.py" and path.parent.name == "simulator":
-            continue
-        text = path.read_text(encoding="utf-8")
-        for line_number, line in enumerate(text.splitlines(), start=1):
-            if _FORBIDDEN.search(line):
-                offenders.append(f"{path.relative_to(SRC_ROOT)}:{line_number}: {line.strip()}")
+    offenders = [str(finding) for finding in scheduler_internal_findings()]
     assert not offenders, (
         "scheduler internals reached outside events.py (use push/"
         "schedule_message/pop/pop_lane/requeue_lane/peek_time instead):\n"
