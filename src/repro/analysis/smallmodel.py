@@ -28,6 +28,13 @@ The optional coordinator-crash branch crashes one process at every depth of
 the schedule (once per path); the settle phase then jumps past the recovery
 timeout so Algorithm 4 runs, and the invariants are asserted over the
 surviving replicas.
+
+The optional message-loss branch (``lose_commit``) drops one in-flight
+commit broadcast at every depth (once per path, fair-lossy links): the
+receiver then knows the identifier only through promises, and the model
+proves the liveness machinery (commit hints, the hint watchdog's forced
+``MCommitRequest``, §B.1 recovery) re-delivers the commit — the full
+liveness invariant still holds with no process crashed.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from repro.core.base import ProcessBase
 from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
 from repro.core.identifiers import Dot
+from repro.core.messages import MCommit
 from repro.core.process import TempoProcess
 from repro.core.quorums import QuorumSystem
 from repro.protocols.caesar import CaesarProcess
@@ -158,6 +166,7 @@ class _Explorer:
         state_check: Optional[
             Callable[[Sequence[ProcessBase], List[Violation]], None]
         ] = None,
+        lose_predicate: Optional[Callable[[object], bool]] = None,
     ) -> None:
         self.result = result
         self.digest = digest
@@ -167,26 +176,32 @@ class _Explorer:
         self.max_states = max_states
         self.stop_at_first_violation = stop_at_first_violation
         self.state_check = state_check
+        self.lose_predicate = lose_predicate
         self.seen: Set[object] = set()
 
     def fingerprint(
-        self, processes: Sequence[ProcessBase], channels: Channels, crashed: bool
+        self,
+        processes: Sequence[ProcessBase],
+        channels: Channels,
+        crashed: bool,
+        lost: bool,
     ) -> object:
         in_flight = tuple(
             (pair, tuple(repr(message) for message in queue))
             for pair, queue in sorted(channels.items())
             if queue
         )
-        return (crashed, in_flight, tuple(self.digest(p) for p in processes))
+        return (crashed, lost, in_flight, tuple(self.digest(p) for p in processes))
 
     def explore(
         self,
         processes: List[ProcessBase],
         channels: Channels,
         crashed: bool,
+        lost: bool,
         depth: int,
     ) -> None:
-        fingerprint = self.fingerprint(processes, channels, crashed)
+        fingerprint = self.fingerprint(processes, channels, crashed, lost)
         if fingerprint in self.seen:
             return
         self.seen.add(fingerprint)
@@ -211,7 +226,7 @@ class _Explorer:
         restore = _snapshot(processes, channels)
         if not choices:
             final_processes, final_channels = restore()
-            self.settle(final_processes, final_channels, crashed)
+            self.settle(final_processes, final_channels, crashed or lost)
             result.final_states += 1
             self.final_check(final_processes, crashed, result.violations)
             if result.violations and self.stop_at_first_violation:
@@ -224,7 +239,23 @@ class _Explorer:
                 del branch_channels[pair]
             branch_processes[pair[1]].deliver(pair[0], message, 0.0)
             _drain_outboxes(branch_processes, branch_channels)
-            self.explore(branch_processes, branch_channels, crashed, depth + 1)
+            self.explore(branch_processes, branch_channels, crashed, lost, depth + 1)
+        if self.lose_predicate is not None and not lost:
+            # Message-loss transition (fair-lossy links): at every depth,
+            # any deliverable head message matching the predicate may
+            # instead vanish in transit — once per path, so the model stays
+            # bounded while covering a loss at every protocol stage.
+            for pair in choices:
+                if not self.lose_predicate(channels[pair][0]):
+                    continue
+                branch_processes, branch_channels = restore()
+                queue = branch_channels[pair]
+                queue.pop(0)
+                if not queue:
+                    del branch_channels[pair]
+                self.explore(
+                    branch_processes, branch_channels, crashed, True, depth + 1
+                )
         if self.crash_process is not None and not crashed:
             branch_processes, branch_channels = restore()
             victim = self.crash_process
@@ -237,7 +268,7 @@ class _Explorer:
             for process in branch_processes:
                 if process.process_id != victim:
                     process.set_alive_view(victim, False)
-            self.explore(branch_processes, branch_channels, True, depth + 1)
+            self.explore(branch_processes, branch_channels, True, lost, depth + 1)
 
 
 def _run(
@@ -250,6 +281,7 @@ def _run(
     max_states: int,
     stop_at_first_violation: bool = False,
     state_check=None,
+    lose_predicate=None,
 ) -> ExplorationResult:
     channels: Channels = {}
     _drain_outboxes(processes, channels)
@@ -262,9 +294,10 @@ def _run(
         max_states,
         stop_at_first_violation=stop_at_first_violation,
         state_check=state_check,
+        lose_predicate=lose_predicate,
     )
     try:
-        explorer.explore(processes, channels, False, 0)
+        explorer.explore(processes, channels, False, False, 0)
     except _FoundViolation:
         result.complete = False
         result.stop_reason = "first-violation"
@@ -431,6 +464,7 @@ def explore_tempo(
     num_commands: int = 2,
     num_keys: int = 1,
     crash_coordinator: bool = False,
+    lose_commit: bool = False,
     ack_broadcast: bool = True,
     max_states: int = 400_000,
     settle_rounds: int = 8,
@@ -442,6 +476,10 @@ def explore_tempo(
     are submitted up front at distinct replicas; every delivery interleaving
     is explored.  With ``crash_coordinator`` the replica submitting the
     first command may crash at any depth, exercising recovery (Algorithm 4).
+    With ``lose_commit`` one in-flight ``MCommit`` broadcast may vanish at
+    any depth (once per path): no process crashes, so the full liveness
+    invariant stands — the commit-hint watchdog and ``MCommitRequest``
+    machinery must re-deliver the lost commit to everyone.
 
     State-space sizes (exhaustive, clean): the default-config
     ``r=3, 2 commands`` model has 121,225 states with 42,624 final
@@ -472,7 +510,7 @@ def explore_tempo(
     recovery_at = config.recovery_timeout + interval
 
     def settle(
-        final_processes: List[ProcessBase], channels: Channels, crashed: bool
+        final_processes: List[ProcessBase], channels: Channels, degraded: bool
     ) -> None:
         # Periodic duties at the normal cadence first (promise broadcast and
         # stability detection), then — so recovery can run for schedules
@@ -480,10 +518,10 @@ def explore_tempo(
         # past the recovery timeout.
         times = [interval * (round + 1) for round in range(settle_rounds)]
         times.extend(recovery_at + interval * round for round in range(settle_rounds))
-        if crashed:
-            # Crash schedules can chain two timeouts: a commit hint noted
-            # during the first recovery window arms the hint watchdog, whose
-            # forced MCommitRequest fires one recovery timeout later.
+        if degraded:
+            # Crash/loss schedules can chain two timeouts: a commit hint
+            # noted during the first recovery window arms the hint watchdog,
+            # whose forced MCommitRequest fires one recovery timeout later.
             times.extend(
                 2 * recovery_at + interval * round for round in range(settle_rounds)
             )
@@ -555,6 +593,9 @@ def explore_tempo(
         max_states=max_states,
         stop_at_first_violation=stop_at_first_violation,
         state_check=stability_safety,
+        lose_predicate=(
+            (lambda message: isinstance(message, MCommit)) if lose_commit else None
+        ),
     )
 
 
@@ -684,6 +725,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--keys", type=int, default=1)
     parser.add_argument("--crash", action="store_true", help="crash the coordinator")
     parser.add_argument(
+        "--lose-commit",
+        action="store_true",
+        help="allow one in-flight MCommit broadcast to be lost (tempo only)",
+    )
+    parser.add_argument(
         "--ack-broadcast",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -698,6 +744,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_commands=args.commands,
             num_keys=args.keys,
             crash_coordinator=args.crash,
+            lose_commit=args.lose_commit,
             ack_broadcast=args.ack_broadcast,
             max_states=args.max_states,
         )

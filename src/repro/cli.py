@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro figure fig5 --clients 8
     python -m repro figure fig7
     python -m repro throughput --protocol tempo --payload 4096 --conflict 0.02
+    python -m repro scenarios --select crash --protocol tempo
     python -m repro check --protocol tempo
 
 The CLI is a thin wrapper over :mod:`repro.cluster` and
@@ -72,6 +73,32 @@ def _add_throughput_parser(subparsers) -> None:
     parser.add_argument("--shards", type=int, default=1)
 
 
+def _add_scenarios_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scenarios",
+        help="run the fault-injection scenario matrix (trace-certified)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="TOKEN",
+        help="only run cells whose name or shape matches TOKEN (repeatable); "
+        "e.g. --select crash --select zipf for the CI smoke slice",
+    )
+    parser.add_argument(
+        "--protocol",
+        action="append",
+        dest="protocols",
+        choices=protocol_names(),
+        help="restrict to one or more protocols (repeatable)",
+    )
+    parser.add_argument("--duration", type=float, default=2_000.0, help="simulated duration per cell (ms)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--list", action="store_true", help="list the matching cells without running them"
+    )
+
+
 def _add_check_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "check",
@@ -97,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(subparsers)
     _add_figure_parser(subparsers)
     _add_throughput_parser(subparsers)
+    _add_scenarios_parser(subparsers)
     _add_check_parser(subparsers)
     return parser
 
@@ -212,6 +240,39 @@ def _command_throughput(args) -> int:
     return 0
 
 
+def _command_scenarios(args) -> int:
+    import os
+
+    from repro.experiments.scenarios import ScenarioOptions, build_matrix, run_cell
+
+    options = ScenarioOptions(
+        duration_ms=args.duration,
+        seed=args.seed,
+        select=args.select,
+    )
+    if args.protocols:
+        options.protocols = tuple(args.protocols)
+    cells = build_matrix(options)
+    if not cells:
+        print("no cells match the selection")
+        return 1
+    if args.list:
+        for cell in cells:
+            print(f"{cell.shape:9s} {cell.protocol:7s} {cell.name}")
+        return 0
+    # Every cell is certified: force the trace checker on for the run.
+    os.environ["REPRO_TRACE_CHECK"] = "1"
+    rows = [run_cell(cell) for cell in cells]
+    print(
+        format_table(
+            rows,
+            title="Fault-injection scenario matrix - trace-certified, "
+            "p50/p99/p99.9 latency (ms), stuck commands on alive replicas",
+        )
+    )
+    return 0
+
+
 def _command_check(args) -> int:
     failed = False
     if not args.skip_lint:
@@ -257,6 +318,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_figure(args)
     if args.command == "throughput":
         return _command_throughput(args)
+    if args.command == "scenarios":
+        return _command_scenarios(args)
     if args.command == "check":
         return _command_check(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

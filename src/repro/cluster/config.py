@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+from repro.faults.plan import FaultPlan
 from repro.simulator.latency import EC2_REGIONS
 
 
@@ -33,9 +34,16 @@ class ExperimentConfig:
         protocol_kwargs: extra arguments for the protocol constructor.
         crash_site_rank: if set, crash the replica of ``crash_shard`` hosted
             at this site rank at ``crash_at_ms`` (failure-injection runs,
-            e.g. the crash-during-contention tail benchmark).
+            e.g. the crash-during-contention tail benchmark).  A legacy shim:
+            the pair compiles into a one-event :class:`repro.faults.FaultPlan`
+            (see :meth:`compiled_fault_plan`); new code should pass
+            ``fault_plan`` directly.
         crash_shard: shard whose replica is crashed (default 0).
         crash_at_ms: simulated time of the injected crash.
+        fault_plan: declarative timeline of fault events (crashes, restarts,
+            partitions, flaky-link windows, targeted message loss) executed
+            by :class:`repro.faults.FaultInjector` during the run.  Mutually
+            exclusive with the legacy ``crash_*`` knobs.
         measure_encoded_bytes: run every transmitted message through the
             ``repro.wire`` codec and record measured frame sizes in the
             ``encoded_*`` stats next to the ``size_bytes()`` estimates
@@ -69,6 +77,7 @@ class ExperimentConfig:
     crash_site_rank: Optional[int] = None
     crash_shard: int = 0
     crash_at_ms: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
     measure_encoded_bytes: bool = False
     record_execution_trace: bool = False
 
@@ -90,16 +99,34 @@ class ExperimentConfig:
                 "crash_site_rank and crash_at_ms must be set together"
             )
         if self.crash_site_rank is not None:
+            if self.fault_plan is not None:
+                raise ValueError(
+                    "fault_plan and the legacy crash knobs are mutually "
+                    "exclusive; express the crash as a plan event"
+                )
             if not 0 <= self.crash_site_rank < self.num_sites:
                 raise ValueError("crash_site_rank out of range")
             if not 0 <= self.crash_shard < self.num_shards:
                 raise ValueError("crash_shard out of range")
             if self.crash_at_ms <= 0:
                 raise ValueError("crash_at_ms must be positive")
+        if self.fault_plan is not None:
+            self.fault_plan.validate(self.num_sites, self.num_shards)
 
     def site_names(self) -> Sequence[str]:
         """Names of the sites actually used."""
         return list(self.sites[: self.num_sites])
+
+    def compiled_fault_plan(self) -> Optional[FaultPlan]:
+        """The fault plan to run: ``fault_plan`` as given, or the legacy
+        crash knobs compiled into a one-event plan, or ``None``."""
+        if self.fault_plan is not None:
+            return self.fault_plan
+        if self.crash_site_rank is not None and self.crash_at_ms is not None:
+            return FaultPlan.from_legacy_crash(
+                self.crash_site_rank, self.crash_shard, self.crash_at_ms
+            )
+        return None
 
     def total_clients(self) -> int:
         return self.clients_per_site * self.num_sites

@@ -24,6 +24,7 @@ from repro.core.base import ProcessBase
 from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
 from repro.core.quorums import QuorumSystem
+from repro.faults.injector import FaultInjector
 from repro.kvstore.sharding import ShardMap
 from repro.kvstore.store import KeyValueStore
 from repro.metrics.histogram import LatencyHistogram
@@ -236,9 +237,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         start_delay = rng.uniform_between(0.0, 5.0)
         simulation.schedule(start_delay, lambda now, client=client: client.start(now))
 
-    if config.crash_at_ms is not None and config.crash_site_rank is not None:
-        victim = deployment.process_for(config.crash_site_rank, config.crash_shard)
-        simulation.crash_at(config.crash_at_ms, victim.process_id)
+    fault_plan = config.compiled_fault_plan()
+    if fault_plan is not None:
+        FaultInjector(
+            fault_plan,
+            sites=deployment.sites,
+            process_id_of=lambda site_rank, shard: deployment.process_for(
+                site_rank, shard
+            ).process_id,
+            num_shards=config.num_shards,
+        ).install(simulation)
 
     simulation.run(until=config.duration_ms + 4_000.0)
 

@@ -298,6 +298,35 @@ class MCommitRequest(Message):
 
 
 @dataclass(frozen=True)
+class MPromiseResync(Message):
+    """Ask a peer to re-broadcast its full issued-promise set.
+
+    Promises are normally sent exactly once (footnote 2 of the paper), so a
+    lost ``MPromises`` leaves a permanent hole in the receiver's view of the
+    sender's promise frontier, freezing its stable timestamp.  A process
+    whose stability frontier stalls while committed commands wait to execute
+    broadcasts this request; each peer answers point-to-point with an
+    un-drained :class:`MPromises` snapshot (the tracker retains the full set
+    for exactly this re-broadcast, see
+    :class:`repro.core.promises.PromiseTracker`) plus the payload/commit
+    information of its committed commands whose attached promises sit above
+    ``frontier`` — the requester's current contiguous frontier *for the
+    receiver* — so one round fills every promise hole, including the holes
+    punched by attached promises of commits the requester never received.
+    ``dot`` is a sentinel identifying the requester, as in
+    :class:`MPromises`.
+    """
+
+    frontier: int = 0
+
+    #: Wire size is instance-independent; batched stats multiply this.
+    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
+
+    def size_bytes(self) -> int:
+        return self.FIXED_SIZE_BYTES
+
+
+@dataclass(frozen=True)
 class ClientSubmit(Message):
     """Client -> closest process: submit a command."""
 
@@ -336,4 +365,5 @@ TEMPO_MESSAGE_TYPES = (
     MRecAck,
     MRecNAck,
     MCommitRequest,
+    MPromiseResync,
 )

@@ -30,6 +30,7 @@ from repro.core.messages import (
     MConsensus,
     MConsensusAck,
     MPayload,
+    MPromiseResync,
     MPromises,
     MPropose,
     MProposeAck,
@@ -108,6 +109,13 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         #: Last time the recovery sweep force-re-sent an MCommitRequest per
         #: dot, debouncing it to one broadcast per recovery-timeout window.
         self._commit_rerequested: Dict[Dot, float] = {}
+        #: Last time this process broadcast an MRec per dot (see
+        #: RecoveryMixin.recover): a recovery ballot of our own that stalls
+        #: for a full recovery timeout is re-attempted with a higher ballot
+        #: — the MRec broadcast may have been lost (fair-lossy links) —
+        #: debounced to one attempt per window so a long partition cannot
+        #: storm the link with recovery traffic.
+        self._recovery_attempted: Dict[Dot, float] = {}
         #: Identifiers a promise broadcast reported as committed elsewhere
         #: (commit-metadata piggyback): the commit broadcast is known to be
         #: in flight, so no MCommitRequest is needed unless the hint goes
@@ -127,6 +135,13 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._pending_watch: List[Tuple[float, Dot]] = []
         self._last_promise_broadcast = float("-inf")
         self._last_stability_check = float("-inf")
+        #: Stability-stall watchdog state (see _stability_resync_tick):
+        #: the highest stable timestamp ever observed, when the frontier
+        #: last moved while committed work was blocked on it, and the last
+        #: time an MPromiseResync round was requested (debounce).
+        self._stable_frontier_seen = -1
+        self._stable_stalled_since: Optional[float] = None
+        self._last_promise_resync = float("-inf")
         #: Set when a commit or promise absorption during a delivery scope
         #: made new timestamps potentially stable; the scope's
         #: :meth:`_flush_step` then runs one stability check for the whole
@@ -166,6 +181,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             MRecAck: self._on_rec_ack,
             MRecNAck: self._on_rec_nack,
             MCommitRequest: self._on_commit_request,
+            MPromiseResync: self._on_promise_resync,
         }
 
     # ------------------------------------------------------------------ helpers
@@ -568,6 +584,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         record.move_to(Phase.COMMIT)
         self._committed[dot] = final
         self._commit_rerequested.pop(dot, None)
+        self._recovery_attempted.pop(dot, None)
         heappush(self._commit_heap, (final, dot))
         result = self.clock.bump(final)
         self._track_detached(result.detached)
@@ -808,6 +825,102 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         for partition in sorted(record.quorums):
             self.send([sender], MCommit(dot, timestamp=final, partition=partition), now)
 
+    def _on_promise_resync(
+        self, sender: int, message: MPromiseResync, now: float
+    ) -> None:
+        """Re-send the full issued-promise set to a stalled peer (§B.2).
+
+        Promises normally travel exactly once (footnote 2), so the reply
+        uses the tracker's *un-drained* snapshot — everything this process
+        ever issued and has not garbage-collected — letting the requester
+        fill the holes a lossy period punched into its view of our
+        frontier.  Holes left by *attached* promises need more than the
+        promise itself: the requester only counts an attached promise once
+        it has the command committed, so for every committed command whose
+        attached timestamp lies above the requester's reported frontier the
+        payload and commit information are re-sent too, collapsing what
+        would otherwise be one hint-watchdog round trip per hole into this
+        single reply.  Point-to-point: only the stalled requester pays the
+        re-broadcast bytes.
+        """
+        detached_ranges, attached = self.tracker.snapshot_ranges(drain=False)
+        if not detached_ranges and not attached:
+            return
+        committed = set()
+        for dot, promises in attached.items():
+            record = self._info.get(dot)
+            if record is None or not record.is_committed:
+                continue
+            committed.add(dot)
+            if record.command is None:
+                continue  # compacted: every correct process executed it
+            if all(p.timestamp <= message.frontier for p in promises):
+                continue  # below the requester's frontier: already counted
+            self.send(
+                [sender], MPayload(dot, record.command, dict(record.quorums)), now
+            )
+            final = record.final_timestamp or record.timestamp
+            for partition in sorted(record.quorums):
+                self.send(
+                    [sender], MCommit(dot, timestamp=final, partition=partition), now
+                )
+        reply = MPromises(
+            Dot(self.process_id, self.dot_generator.peek().sequence),
+            detached={self.process_id: detached_ranges} if detached_ranges else {},
+            attached=attached,
+            committed=frozenset(committed),
+        )
+        self.send([sender], reply, now)
+
+    def _stability_resync_tick(self, now: float) -> None:
+        """Detect a frozen stability frontier and request a promise resync.
+
+        A healed (or flaky-link) replica can hold committed commands whose
+        timestamps never become stable: the promises its peers issued
+        during the outage were broadcast exactly once, into the void, and
+        the send-once optimisation means nothing re-sends them.  When
+        committed work has been blocked on a non-advancing frontier for two
+        full recovery-timeout windows (long enough that crash recovery's
+        ordinary stability hiccups never trigger it), broadcast an
+        :class:`MPromiseResync`; peers answer with full snapshots and the
+        frontier jumps forward.  Debounced to one round per window.
+        """
+        heap = self._commit_heap
+        if not heap:
+            self._stable_stalled_since = None
+            return
+        stable = self.promises.stable_timestamp(self.partition_peers())
+        if heap[0][0] <= stable:
+            # The head is already stable; stability_check will drain it.
+            self._stable_stalled_since = None
+            return
+        if stable > self._stable_frontier_seen:
+            self._stable_frontier_seen = stable
+            self._stable_stalled_since = now
+            return
+        if self._stable_stalled_since is None:
+            self._stable_stalled_since = now
+            return
+        if now - self._stable_stalled_since < 2 * self.config.recovery_timeout:
+            return
+        if now - self._last_promise_resync < self.config.recovery_timeout:
+            return
+        self._last_promise_resync = now
+        sentinel = Dot(self.process_id, self.dot_generator.peek().sequence)
+        for target in self.partition_peers():
+            if target == self.process_id:
+                continue
+            # Per-target frontier: each peer re-sends exactly the commits
+            # whose attached promises this process is missing from *it*.
+            self.send(
+                [target],
+                MPromiseResync(
+                    sentinel,
+                    frontier=self.promises.highest_contiguous_promise(target),
+                ),
+                now,
+            )
+
     def _on_stable(self, sender: int, message: MStable, now: float) -> None:
         """Record a per-partition stability notification (Algorithm 6).
 
@@ -919,6 +1032,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             self.stability_check(now)
         self._hint_tick(now)
         self._recovery_tick(now)
+        self._stability_resync_tick(now)
 
     def _recovery_tick(self, now: float) -> None:
         """Attempt recovery of stuck pending commands (Algorithm 6, line 75).
@@ -959,7 +1073,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                         MPayload(dot, record.command, dict(record.quorums)),
                         now,
                     )
-            if self._should_attempt_recovery(dot):
+            if self._should_attempt_recovery(dot, now):
                 self.recover(dot, now)
             # A peer that already committed ignores MRec (§B.1), so a
             # recovery that races a crashed coordinator's partial commit

@@ -1,0 +1,29 @@
+"""Declarative fault injection for the discrete-event simulator.
+
+A :class:`~repro.faults.plan.FaultPlan` is a timeline of typed fault events
+(crash, restart, bidirectional partition + heal, flaky-link degradation
+windows, message-class-targeted loss); a
+:class:`~repro.faults.injector.FaultInjector` compiles it against one
+deployment and schedules every event at its simulated time.  See
+``docs/fault_injection.md``.
+"""
+
+from repro.faults.plan import (
+    Crash,
+    FaultPlan,
+    FlakyLink,
+    Partition,
+    Restart,
+    TargetedLoss,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "Crash",
+    "FaultInjector",
+    "FaultPlan",
+    "FlakyLink",
+    "Partition",
+    "Restart",
+    "TargetedLoss",
+]

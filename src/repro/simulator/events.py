@@ -47,6 +47,10 @@ class EventKind(enum.IntEnum):
     CLIENT = 2
     CRASH = 3
     CUSTOM = 4
+    #: A scripted fault-plan action (partition/heal, link degradation
+    #: window edge, targeted-loss window edge, process restart).  The
+    #: payload is a callable applied to the simulation at the event's time.
+    FAULT = 5
 
 
 class Event(NamedTuple):

@@ -5,12 +5,19 @@ latencies taken from a :class:`repro.simulator.latency.LatencyMatrix`, plus
 optional jitter.  Crashed processes silently drop incoming messages (crash-
 stop model).  Message loss can be injected for liveness testing; the paper's
 protocols assume fair-lossy links, which periodic re-broadcast copes with.
+
+Fault injection (``repro.faults``) installs richer per-link state: a
+bidirectional site partition, per-link degradation windows (added delay,
+jitter, probabilistic drop) and message-class-targeted loss.  All fault
+randomness draws from a dedicated :attr:`Network.fault_rng` stream split off
+the main RNG's seed, so a healthy run is bit-identical with and without the
+fault machinery, and activating a fault never shifts workload randomness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.base import MBatch
 from repro.simulator.latency import LatencyMatrix
@@ -41,6 +48,45 @@ class NetworkOptions:
             raise ValueError("drop_probability must be in [0, 1)")
         if self.local_latency_ms < 0:
             raise ValueError("local_latency_ms must be non-negative")
+
+
+@dataclass
+class LinkDegradation:
+    """Active degradation of one site-to-site link (a flaky-link window).
+
+    Installed by :meth:`Network.degrade_link`; all randomness (drop draws,
+    jitter draws) comes from the network's dedicated fault RNG stream, never
+    from the main RNG, so degrading one link cannot shift the randomness of
+    anything else in the run.
+    """
+
+    extra_delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.extra_delay_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("degradation delay/jitter must be non-negative")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+
+
+@dataclass
+class TargetedLoss:
+    """Active message-class-targeted loss (e.g. cross-partition MStable).
+
+    ``cross_group_only`` restricts the loss to messages whose endpoints
+    carry *different* group tags (see :meth:`Network.set_group`; the cluster
+    runner tags each process with its shard, so this expresses "only the
+    cross-shard copies").
+    """
+
+    probability: float = 1.0
+    cross_group_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
 
 
 @dataclass
@@ -86,12 +132,28 @@ class Network:
         latency: LatencyMatrix,
         options: Optional[NetworkOptions] = None,
         rng: Optional[SeededRng] = None,
+        fault_rng: Optional[SeededRng] = None,
     ) -> None:
         self.latency_matrix = latency
         self.options = options or NetworkOptions()
         self.rng = rng or SeededRng()
+        #: Dedicated RNG stream for fault-injection decisions (partition and
+        #: flaky-link drops, degradation jitter, targeted loss).  Derived
+        #: from the main stream's *seed* — no draws are consumed — so the
+        #: two streams are independent: a run that never activates a fault
+        #: makes zero fault-stream draws and is bit-identical to one without
+        #: the fault machinery at all.
+        self.fault_rng = fault_rng or self.rng.fault_stream()
         self._site_of: Dict[int, str] = {}
         self._crashed: Set[int] = set()
+        #: Fault-injection state, all empty on a healthy network.  The hot
+        #: path tests the single ``_faults_active`` flag; the per-message
+        #: fault work only runs while at least one fault is installed.
+        self._partition_of: Dict[str, int] = {}
+        self._degraded: Dict[Tuple[str, str], LinkDegradation] = {}
+        self._targeted: Dict[str, TargetedLoss] = {}
+        self._group_of: Dict[int, int] = {}
+        self._faults_active = False
         self.stats = NetworkStats()
         #: Cache of ``(sender, destination) -> base one-way delay`` pairs;
         #: invalidated when an endpoint is (re)placed.  Jitter, when enabled,
@@ -129,6 +191,125 @@ class Network:
     def is_crashed(self, endpoint: int) -> bool:
         return endpoint in self._crashed
 
+    def restore(self, endpoint: int) -> None:
+        """Un-crash an endpoint (a restarted process receives again)."""
+        self._crashed.discard(endpoint)
+
+    def set_group(self, endpoint: int, group: int) -> None:
+        """Tag an endpoint with a replica-group id (the cluster runner uses
+        the protocol partition/shard).  Only consulted by targeted loss
+        rules with ``cross_group_only``."""
+        self._group_of[endpoint] = group
+
+    # -- fault injection (partitions, flaky links, targeted loss) -------------
+
+    def _refresh_faults_active(self) -> None:
+        self._faults_active = bool(
+            self._partition_of or self._degraded or self._targeted
+        )
+
+    def set_partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Install a bidirectional network partition between site groups.
+
+        Messages between sites in *different* groups are dropped; sites not
+        listed in any group reach (and are reached by) everyone.  Replaces
+        any previously installed partition.
+        """
+        partition_of: Dict[str, int] = {}
+        for group_id, group in enumerate(groups):
+            for site in group:
+                if site not in self.latency_matrix.sites:
+                    raise KeyError(f"unknown site {site!r}")
+                if site in partition_of:
+                    raise ValueError(f"site {site!r} appears in two groups")
+                partition_of[site] = group_id
+        self._partition_of = partition_of
+        self._refresh_faults_active()
+
+    def clear_partition(self) -> None:
+        """Heal the installed partition (links deliver again; messages
+        dropped while it was up stay lost — fair-lossy links)."""
+        self._partition_of = {}
+        self._refresh_faults_active()
+
+    @staticmethod
+    def _link_key(site_a: str, site_b: str) -> Tuple[str, str]:
+        return (site_a, site_b) if site_a <= site_b else (site_b, site_a)
+
+    def degrade_link(
+        self, site_a: str, site_b: str, degradation: LinkDegradation
+    ) -> None:
+        """Install a bidirectional degradation window on one link."""
+        for site in (site_a, site_b):
+            if site not in self.latency_matrix.sites:
+                raise KeyError(f"unknown site {site!r}")
+        if site_a == site_b:
+            raise ValueError("cannot degrade a site's local link")
+        self._degraded[self._link_key(site_a, site_b)] = degradation
+        self._refresh_faults_active()
+
+    def restore_link(self, site_a: str, site_b: str) -> None:
+        """Remove the degradation installed on one link (end of window)."""
+        self._degraded.pop(self._link_key(site_a, site_b), None)
+        self._refresh_faults_active()
+
+    def set_targeted_loss(self, kind: str, loss: TargetedLoss) -> None:
+        """Drop messages of one kind (class name) with a probability."""
+        self._targeted[kind] = loss
+        self._refresh_faults_active()
+
+    def clear_targeted_loss(self, kind: str) -> None:
+        """Remove the targeted loss rule for one message kind."""
+        self._targeted.pop(kind, None)
+        self._refresh_faults_active()
+
+    def _fault_verdict(
+        self, sender: int, destination: int, kind: str
+    ) -> Optional[float]:
+        """Fault-injection outcome for one message on an active-fault
+        network: ``None`` when a fault drops it, otherwise the extra delay
+        (0.0 for unaffected links).  Only called while ``_faults_active``;
+        all randomness comes from :attr:`fault_rng`.
+        """
+        site_a = self._site_of[sender]
+        site_b = self._site_of[destination]
+        partition_of = self._partition_of
+        if partition_of:
+            group_a = partition_of.get(site_a)
+            group_b = partition_of.get(site_b)
+            if group_a is not None and group_b is not None and group_a != group_b:
+                return None
+        targeted = self._targeted
+        if targeted:
+            loss = targeted.get(kind)
+            if loss is not None:
+                groups = self._group_of
+                if not loss.cross_group_only or (
+                    groups.get(sender) is not None
+                    and groups.get(destination) is not None
+                    and groups[sender] != groups[destination]
+                ):
+                    if (
+                        loss.probability >= 1.0
+                        or self.fault_rng.uniform() < loss.probability
+                    ):
+                        return None
+        if self._degraded and site_a != site_b:
+            degradation = self._degraded.get(self._link_key(site_a, site_b))
+            if degradation is not None:
+                if (
+                    degradation.drop_probability
+                    and self.fault_rng.uniform() < degradation.drop_probability
+                ):
+                    return None
+                extra = degradation.extra_delay_ms
+                if degradation.jitter_ms:
+                    extra += self.fault_rng.uniform_between(
+                        0.0, degradation.jitter_ms
+                    )
+                return extra
+        return 0.0
+
     # -- delivery -------------------------------------------------------------
 
     def _base_delay(self, sender: int, destination: int) -> float:
@@ -146,17 +327,21 @@ class Network:
         return base
 
     def delay(self, sender: int, destination: int) -> float:
-        """One-way delay between two endpoints, including jitter."""
+        """One-way delay between two endpoints, including jitter.
+
+        Jitter is a fault/noise knob, so the draw comes from the dedicated
+        fault stream (:attr:`fault_rng`), never the main RNG.
+        """
         base = self._base_delay(sender, destination)
         if self.options.jitter_ms:
-            base += self.rng.uniform_between(0.0, self.options.jitter_ms)
+            base += self.fault_rng.uniform_between(0.0, self.options.jitter_ms)
         return base
 
     def should_drop(self) -> bool:
-        """Whether an injected message drop occurs."""
+        """Whether an injected message drop occurs (fault-stream draw)."""
         if not self.options.drop_probability:
             return False
-        return self.rng.uniform() < self.options.drop_probability
+        return self.fault_rng.uniform() < self.options.drop_probability
 
     def _resolve_type_info(
         self, message_type: type
@@ -262,15 +447,22 @@ class Network:
         if destination in self._crashed or self.should_drop():
             stats.messages_dropped += 1
             return None
+        if self._faults_active:
+            extra = self._fault_verdict(sender, destination, kind)
+            if extra is None:
+                stats.messages_dropped += 1
+                return None
+        else:
+            extra = 0.0
         if self.options.jitter_ms:
-            at = now + self.delay(sender, destination)
+            at = now + self.delay(sender, destination) + extra
         else:
             # Jitter-free deliveries (the default) read the cached base
             # delay directly, skipping two call frames per message.
             base = self._delay_cache.get((sender, destination))
             if base is None:
                 base = self._base_delay(sender, destination)
-            at = now + base
+            at = now + base + extra
         deliver(at, sender, destination, message)
         stats.messages_delivered += 1
         stats.deliveries += 1
@@ -302,7 +494,8 @@ class Network:
         stats = self.stats
         crashed = destination in self._crashed
         jittery = bool(self.options.jitter_ms)
-        if not crashed and not jittery and not self.options.drop_probability:
+        faulty = self._faults_active
+        if not crashed and not jittery and not faulty and not self.options.drop_probability:
             # Fast path: every message survives and shares one delivery, so
             # the per-message stats work collapses to one ``per_kind`` update
             # per *run* of same-type inner messages (outboxes are dominated
@@ -359,7 +552,27 @@ class Network:
             if crashed or self.should_drop():
                 stats.messages_dropped += 1
                 continue
-            if jittery:
+            if faulty:
+                # Per-message fault verdicts (a degraded link adds its own
+                # delay per message), so an active-fault window falls back
+                # to the per-message delivery path like jitter does.
+                message_type = message.__class__
+                info = self._type_info.get(message_type)
+                if info is None:
+                    info = self._resolve_type_info(message_type)
+                extra = self._fault_verdict(sender, destination, info[0])
+                if extra is None:
+                    stats.messages_dropped += 1
+                    continue
+                deliver(
+                    now + self.delay(sender, destination) + extra,
+                    sender,
+                    destination,
+                    message,
+                )
+                stats.messages_delivered += 1
+                stats.deliveries += 1
+            elif jittery:
                 deliver(now + self.delay(sender, destination), sender, destination, message)
                 stats.messages_delivered += 1
                 stats.deliveries += 1

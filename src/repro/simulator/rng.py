@@ -5,6 +5,14 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+#: Named sub-stream for fault-injection randomness (link drop/jitter draws,
+#: targeted message loss).  Splitting it off the network's main stream means
+#: enabling a fault plan in one experiment cell can never shift the workload
+#: or baseline-jitter randomness of another: a healthy run makes zero draws
+#: from the fault stream, so it is bit-identical with and without an (empty)
+#: fault plan installed.
+FAULT_RNG_STREAM = 0xFA17
+
 
 class SeededRng:
     """A thin wrapper over :class:`random.Random` with workload helpers.
@@ -53,6 +61,14 @@ class SeededRng:
     def fork(self, stream: int) -> "SeededRng":
         """Derive an independent generator for a sub-component."""
         return SeededRng(seed=(self.seed * 1_000_003 + stream) % (2**63))
+
+    def fault_stream(self) -> "SeededRng":
+        """The named fault-injection sub-stream of this generator.
+
+        Derived from the seed alone (no draws are consumed), so building it
+        never perturbs the parent stream.
+        """
+        return self.fork(FAULT_RNG_STREAM)
 
 
 class ZipfSampler:

@@ -124,6 +124,7 @@ class Simulation:
             self._handle_client_event,
             self._handle_crash_event,
             self._handle_custom_event,
+            self._handle_fault_event,
         )
         # One fused TICK event per interval walks every process; nothing to
         # tick means no tick chain (and an immediately-quiescent queue).
@@ -160,6 +161,28 @@ class Simulation:
     def crash_at(self, time: float, process_id: int) -> None:
         """Schedule a crash of ``process_id`` at ``time``."""
         self.queue.push(time, EventKind.CRASH, target=process_id)
+
+    def fault_at(self, time: float, action: Callable[["Simulation"], None]) -> None:
+        """Schedule a scripted fault action (``action(simulation)``) at
+        ``time`` — partition/heal edges, link degradation windows, targeted
+        loss windows, restarts.  The fault-plan injector's entry point."""
+        self.queue.push(time, EventKind.FAULT, payload=action)
+
+    def restart(self, process_id: int) -> None:
+        """Restart a crashed process with its durable state.
+
+        The paper assumes crash-stop; restart models the crash-*recovery*
+        variant where a replica returns with the protocol state it held at
+        the crash (as if persisted).  The network delivers to it again and
+        every failure detector flips it back to alive.
+        """
+        process = self.processes.get(process_id)
+        if process is None:
+            return
+        process.recover_process()
+        self.network.restore(process_id)
+        for other in self.processes.values():
+            other.set_alive_view(process_id, True)
 
     # -- outbox routing -----------------------------------------------------------
 
@@ -420,4 +443,9 @@ class Simulation:
 
     def _handle_custom_event(self, target: int, callback) -> None:
         callback(self.now)
+        self.flush_outboxes()
+
+    def _handle_fault_event(self, target: int, action) -> None:
+        """Apply one scripted fault action at its simulated time."""
+        action(self)
         self.flush_outboxes()

@@ -40,6 +40,7 @@ from repro.core.messages import (
     MConsensus,
     MConsensusAck,
     MPayload,
+    MPromiseResync,
     MPromises,
     MPropose,
     MProposeAck,
@@ -453,6 +454,15 @@ def _dec_mcommitrequest(r: Reader) -> MCommitRequest:
     return MCommitRequest(_read_dot(r))
 
 
+def _enc_mpromiseresync(buf, m: MPromiseResync) -> None:
+    _write_dot(buf, m.dot)
+    write_uvarint(buf, m.frontier)
+
+
+def _dec_mpromiseresync(r: Reader) -> MPromiseResync:
+    return MPromiseResync(_read_dot(r), frontier=r.read_uvarint())
+
+
 def _enc_clientsubmit(buf, m: ClientSubmit) -> None:
     _write_dot(buf, m.dot)
     _write_command(buf, m.command)
@@ -682,6 +692,7 @@ _REGISTRY_SPEC: Tuple[Tuple[int, type, Callable, Callable], ...] = (
     (29, MAccepted, _enc_maccepted, _dec_maccepted),
     (30, MDecided, _enc_mdecided, _dec_mdecided),
     (31, MJanusDeps, _enc_mjanusdeps, _dec_mjanusdeps),
+    (32, MPromiseResync, _enc_mpromiseresync, _dec_mpromiseresync),
 )
 
 #: Message class -> (kind byte, body encoder); the class keys mirror the

@@ -27,6 +27,7 @@ from repro.core.messages import (
     MConsensus,
     MConsensusAck,
     MPayload,
+    MPromiseResync,
     MPromises,
     MPropose,
     MProposeAck,
@@ -93,6 +94,7 @@ def sample_messages(payload_size: int = 100) -> Dict[str, object]:
         "MRecAck": MRecAck(dot, 41, Phase.PROPOSE, 0, 5),
         "MRecNAck": MRecNAck(dot, 5),
         "MCommitRequest": MCommitRequest(dot),
+        "MPromiseResync": MPromiseResync(dot, frontier=17),
         "ClientSubmit": ClientSubmit(dot, command),
         "ClientReply": ClientReply(dot, result={"key-0": str(dot)}),
         "MPreAccept": MPreAccept(dot, command, deps, 4),

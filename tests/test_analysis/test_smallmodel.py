@@ -37,6 +37,22 @@ class TestTempoModels:
         # Crash branches at every depth: deeper than the crash-free run.
         assert result.final_states > result.states_explored // 4
 
+    def test_lost_commit_broadcast_exhaustive(self):
+        # One in-flight MCommit may vanish at any depth (fair-lossy links);
+        # nobody crashes, so the FULL liveness invariant stands: the
+        # receiver that missed the commit learns the identifier through
+        # promise broadcasts and the hint watchdog / MCommitRequest
+        # machinery re-delivers the outcome — every command still executes
+        # at every replica, in one agreed order.
+        result = explore_tempo(
+            num_commands=1, lose_commit=True, ack_broadcast=False
+        )
+        assert result.complete, result.summary()
+        assert result.ok, result.summary()
+        # The loss transition genuinely branched the schedule.
+        baseline = explore_tempo(num_commands=1, ack_broadcast=False)
+        assert result.states_explored > baseline.states_explored
+
     def test_two_keys_do_not_interfere(self):
         # Commands on distinct keys still share the timestamp lattice.
         result = explore_tempo(num_commands=2, num_keys=2, ack_broadcast=False)

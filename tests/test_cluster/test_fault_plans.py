@@ -1,0 +1,97 @@
+"""Cluster-level contracts of the declarative fault-plan machinery.
+
+Three guarantees pin the refactor:
+
+* the legacy ``crash_site_rank``/``crash_at_ms`` knobs and the explicit
+  one-event :class:`FaultPlan` they compile to produce *identical* runs
+  (same crash event at the same queue position), so every committed crash
+  golden stays byte-stable;
+* an empty fault plan is a no-op: the run is bit-identical to one with no
+  fault machinery at all — healthy traffic never touches the fault RNG
+  stream and installing an injector consumes nothing;
+* the legacy knobs and an explicit plan are mutually exclusive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import ExperimentConfig
+from repro.cluster.runner import run_experiment
+from repro.faults import Crash, FaultPlan
+
+SITES = ("ireland", "n-california", "singapore")
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    options = dict(
+        protocol="tempo",
+        num_sites=3,
+        clients_per_site=2,
+        duration_ms=1_200.0,
+        warmup_ms=200.0,
+        seed=7,
+        sites=SITES,
+    )
+    options.update(overrides)
+    return ExperimentConfig(**options)
+
+
+def run_fingerprint(result):
+    """Everything observable about a run, for bit-identity comparison."""
+    return (
+        result.completed,
+        result.submitted,
+        result.throughput_ops,
+        result.latency.samples(),
+        {site: h.samples() for site, h in result.per_site_latency.items()},
+        sorted(result.stats.items()),
+    )
+
+
+class TestLegacyCrashShim:
+    def test_legacy_knobs_compile_to_a_one_event_plan(self):
+        config = small_config(crash_site_rank=0, crash_at_ms=800.0)
+        plan = config.compiled_fault_plan()
+        assert plan is not None
+        assert tuple(plan) == (Crash(at_ms=800.0, site_rank=0, shard=0),)
+
+    def test_legacy_knobs_and_explicit_plan_run_identically(self):
+        legacy = run_experiment(small_config(crash_site_rank=0, crash_at_ms=800.0))
+        explicit = run_experiment(
+            small_config(fault_plan=FaultPlan([Crash(at_ms=800.0, site_rank=0)]))
+        )
+        assert run_fingerprint(legacy) == run_fingerprint(explicit)
+
+    def test_legacy_knobs_are_mutually_exclusive_with_a_plan(self):
+        with pytest.raises(ValueError):
+            small_config(
+                crash_site_rank=0,
+                crash_at_ms=800.0,
+                fault_plan=FaultPlan([Crash(at_ms=800.0, site_rank=0)]),
+            )
+
+    def test_plan_is_validated_against_the_deployment(self):
+        with pytest.raises(ValueError):
+            small_config(fault_plan=FaultPlan([Crash(at_ms=800.0, site_rank=9)]))
+
+
+class TestFaultRngDeterminism:
+    def test_empty_plan_run_is_bit_identical_to_a_healthy_run(self):
+        # Satellite 2 of the fault-injection campaign: the dedicated fault
+        # RNG stream means merely *installing* the machinery perturbs
+        # nothing — a run with an empty plan produces the exact same
+        # latency samples as one that never heard of fault plans.
+        healthy = run_experiment(small_config())
+        with_empty_plan = run_experiment(small_config(fault_plan=FaultPlan([])))
+        assert run_fingerprint(healthy) == run_fingerprint(with_empty_plan)
+
+    def test_faulty_runs_are_deterministic_given_a_seed(self):
+        config = small_config(
+            fault_plan=FaultPlan(
+                [Crash(at_ms=800.0, site_rank=1)]
+            )
+        )
+        assert run_fingerprint(run_experiment(config)) == run_fingerprint(
+            run_experiment(config)
+        )

@@ -87,6 +87,7 @@ class TestSizes:
             "MSubmit", "MPropose", "MProposeAck", "MPayload", "MCommit",
             "MConsensus", "MConsensusAck", "MBump", "MPromises", "MStable",
             "MRec", "MRecAck", "MRecNAck", "MCommitRequest",
+            "MPromiseResync",
         }
 
 
