@@ -65,6 +65,10 @@ def _record_traffic(config, result) -> None:
             "promise_messages": int(result.stats.get("sent:MPromises", 0)),
             "events": int(result.stats.get("events", 0)),
             "heap_ops": int(result.stats.get("heap_ops", 0)),
+            "live_records": int(result.stats.get("live_records", 0)),
+            "archived_records": int(result.stats.get("archived_records", 0)),
+            "peak_live_per_key": int(result.stats.get("peak_live_per_key", 0)),
+            "gc_collected": int(result.stats.get("gc_collected", 0)),
         }
     )
 
@@ -134,12 +138,29 @@ def _write_bench_fig6_artifact() -> None:
             for key, value in row.items():
                 if key == "experiment":
                     continue
-                totals[key] = totals.get(key, 0) + int(value)
+                if key == "peak_live_per_key":
+                    # A high-water mark: the meaningful aggregate is the
+                    # worst run, not the sum over runs.
+                    totals[key] = max(totals.get(key, 0), int(value))
+                else:
+                    totals[key] = totals.get(key, 0) + int(value)
+        # Peak RSS of the whole pytest process (KiB on Linux): the coarse
+        # memory ceiling the CI gate enforces next to the per-structure
+        # live/archive columns above.
+        try:
+            import resource
+
+            peak_rss_kb = int(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            )
+        except Exception:
+            peak_rss_kb = 0
         artifact.update(
             {
                 "benchmark": _BENCH_FIG6.get("nodeid"),
                 "outcome": _BENCH_FIG6.get("outcome"),
                 "wall_seconds": _BENCH_FIG6.get("wall_seconds"),
+                "peak_rss_kb": peak_rss_kb,
                 "message_counts": traffic,
                 "message_totals": totals,
             }

@@ -27,8 +27,12 @@ def _fast_path_ratio(faults: int, concurrent: int, epaxos_style: bool) -> float:
     the fast path, under the given fast-path rule."""
     config = ProtocolConfig(num_processes=5, faults=faults)
     partitioner = Partitioner(1)
+    # Watermark GC off: the ratio below reads the per-command records after
+    # settling, which collection would have dropped.
     processes = [
-        TempoProcess(process_id, config, partitioner=partitioner)
+        TempoProcess(
+            process_id, config, partitioner=partitioner, watermark_gc=False
+        )
         for process_id in range(5)
     ]
     network = RecordingNetwork(processes)

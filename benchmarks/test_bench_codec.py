@@ -5,10 +5,11 @@ Two outputs with very different stability requirements:
 * **Timing** (``codec_ns`` per round-trip, derived ops/sec) is noisy and
   goes to ``BENCH_fig6.json`` — the artifact CI diffs by eye, never by
   byte.
-* **Sizes** (measured frame bytes vs the historical ``size_bytes()``
-  estimate, per kind) are deterministic and are emitted to
-  ``results/wire_drift.txt`` so estimate drift is pinned by the CI
-  results-drift check like every other figure.
+* **Sizes** (measured frame bytes vs ``size_bytes()``, per kind) are
+  deterministic and are emitted to ``results/wire_drift.txt`` so the
+  epoch-2 invariant — the accounted size *is* the measured frame size,
+  zero drift for every kind — is pinned by the CI results-drift check
+  like every other figure.
 """
 
 from __future__ import annotations
@@ -76,11 +77,12 @@ def test_bench_codec_round_trip(benchmark, codec_bench_recorder):
 def test_bench_codec_drift_report(results_emitter):
     """Deterministic measured-vs-estimated report (``results/wire_drift.txt``).
 
-    The golden ``results/*.txt`` figures charge ``size_bytes()`` estimates;
-    the codecs measure what the same messages actually occupy on the wire.
-    Kinds drifting past the threshold keep their historical estimate for
-    accounting stability — the corrected (measured) value is recorded here
-    and becomes the default at the next results re-baseline (ROADMAP).
+    Since the epoch-2 re-baseline ``size_bytes()`` *is* the exact frame
+    length (``repro.core.wiresize``), so this report doubles as the
+    exhaustive equality gate: every registered kind — including the
+    post-epoch-1 additions ``MPromiseResync`` and ``MExecutedClock`` — must
+    show zero drift, or the arithmetic size model has diverged from the
+    codec.
     """
     samples = sample_messages()
     estimated = {}
@@ -88,12 +90,7 @@ def test_bench_codec_drift_report(results_emitter):
     for kind, message in samples.items():
         if kind == "MBatch":
             # The envelope has no size_bytes() of its own: the network
-            # charges the estimates of the inner messages.
-            continue
-        if kind == "MPromiseResync":
-            # Repair-path kind registered after the drift baseline was
-            # frozen; it joins the report at the next results re-baseline
-            # (ROADMAP) so the committed golden stays byte-stable.
+            # charges the exact inner frame sizes plus framing overhead.
             continue
         estimated[kind] = float(message.size_bytes())
         measured[kind] = float(encoded_size(message))
@@ -117,12 +114,11 @@ def test_bench_codec_drift_report(results_emitter):
         "(canonical 100 B payload samples)",
     )
 
-    drifted = set(drifted_kinds(rows))
-    # Fixed-size acks carry a 24-byte modeled header that the varint
-    # encoding collapses to a few bytes: they must show up as drifted.
-    for kind in ("MStable", "MCommitRequest", "MConsensusAck", "MRec"):
-        assert kind in drifted, f"{kind} expected to drift (header model)"
-    # Payload-carrying kinds are dominated by the payload itself, so the
-    # estimate and the measurement agree within the threshold.
-    for kind in ("MSubmit", "MPropose", "MPayload", "ClientSubmit", "MForward"):
-        assert kind not in drifted, f"{kind} unexpectedly drifted"
+    # Epoch-2 equality gate: no kind may drift at all, and the accounted
+    # size must match the measured frame byte for byte.
+    assert not drifted_kinds(rows), f"drifted kinds: {sorted(drifted_kinds(rows))}"
+    for kind in estimated:
+        assert estimated[kind] == measured[kind], (
+            f"{kind}: size_bytes()={estimated[kind]:.0f} != "
+            f"encoded={measured[kind]:.0f}"
+        )

@@ -1,10 +1,11 @@
 """Fault-injection campaign: the trace-certified scenario matrix.
 
 Runs the full adversarial grid of :mod:`repro.experiments.scenarios` —
-crash-site/time sweep, partition/heal, flaky links, message-class-targeted
-loss and Zipfian skew, for every protocol — with execution tracing forced
-on, so every row of ``results/scenario_matrix.txt`` certifies that the
-run's invariants held (``run_experiment`` raises on any trace violation).
+crash-site/time sweep, crash/restart, partition/heal, flaky links,
+message-class-targeted loss and Zipfian skew, for every protocol — with
+execution tracing forced on, so every row of
+``results/scenario_matrix.txt`` certifies that the run's invariants held
+(``run_experiment`` raises on any trace violation).
 
 The matrix doubles as the CI regression gate for the unhappy paths:
 
@@ -78,3 +79,16 @@ def test_bench_scenario_matrix(benchmark, results_emitter):
     for protocol in ("atlas", "epaxos"):
         loss = by_cell[("commit-loss/p0.3", protocol)]
         assert loss["stuck"] > 0 and loss["converged"] == "no", loss
+
+    # Crash/restart: Tempo's restarted replica catches up (asserted via
+    # requires_convergence) AND the watermark GC — stalled while the peer
+    # was down — resumed collecting after the catch-up; the baselines
+    # honestly report what the outage stranded.
+    restart_cells = [cell for cell in cells if cell.shape == "restart"]
+    assert restart_cells, "restart shape missing from the matrix"
+    for cell in restart_cells:
+        row = by_cell[(cell.name, cell.protocol)]
+        if cell.protocol == "tempo":
+            assert row["converged"] == "yes" and row["gc"] > 0, row
+        else:
+            assert row["stuck"] > 0 and row["converged"] == "no", row

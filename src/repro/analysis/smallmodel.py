@@ -35,6 +35,15 @@ receiver then knows the identifier only through promises, and the model
 proves the liveness machinery (commit hints, the hint watchdog's forced
 ``MCommitRequest``, §B.1 recovery) re-delivers the commit — the full
 liveness invariant still holds with no process crashed.
+
+Epoch-2 state machines are part of the model: ``commit_elision`` toggles
+the fast-path MCommit elision (fast-quorum members self-commit, so the
+coordinator skips their commit message) and ``watermark_gc`` toggles the
+globally-executed watermark exchange.  With GC on, every reachable state —
+not just quiescent ones — is checked against the collection-safety
+invariant: a dot at or below any process's watermark must have executed at
+EVERY replica, i.e. no committed command's bookkeeping is ever dropped
+before it is globally executed.
 """
 
 from __future__ import annotations
@@ -411,6 +420,68 @@ def _check_common_final_state(
             )
 
 
+# -- epoch-2 GC (shared between the Tempo and Caesar models) ----------------------
+
+
+def _gc_digest(process: ProcessBase) -> object:
+    """Canonical fingerprint of a process's ``GcTracker`` state (or ``()``)."""
+    gc = getattr(process, "gc", None)
+    if gc is None:
+        return ()
+    return (
+        tuple(sorted(gc._frontier.items())),
+        tuple(sorted(gc._watermark.items())),
+        tuple(
+            (peer, tuple(sorted(clock.items())))
+            for peer, clock in sorted(gc._peer_clocks.items())
+        ),
+        tuple(
+            (source, tuple(sorted(pending)))
+            for source, pending in sorted(gc._pending.items())
+            if pending
+        ),
+        tuple(sorted(gc._stale)),
+        gc._dirty,
+    )
+
+
+def _gc_collection_safety(
+    current: Sequence[ProcessBase], violations: List[Violation]
+) -> None:
+    """The watermark-GC safety invariant, checked in EVERY reachable state.
+
+    A dot at or below any process's globally-executed watermark has had its
+    bookkeeping dropped (or is about to); that is sound only if the dot
+    already executed at *every* replica — crashed ones included, since the
+    watermark can only cover sequences the crashed peer announced as
+    executed before dying.  A violation here means a committed command was
+    garbage-collected before it was globally executed.
+    """
+    executed_sets = {
+        process.process_id: {dot for dot, _ in process.executed}
+        for process in current
+    }
+    for process in current:
+        gc = getattr(process, "gc", None)
+        if gc is None:
+            continue
+        for source in sorted(gc._sources):
+            watermark = gc.watermark_of(source)
+            for sequence in range(1, watermark + 1):
+                dot = Dot(source, sequence)
+                for peer_id, executed in sorted(executed_sets.items()):
+                    if dot not in executed:
+                        violations.append(
+                            Violation(
+                                "gc-before-global-execution",
+                                f"process {process.process_id} holds watermark "
+                                f"{watermark} for source {source}, collecting "
+                                f"{dot}, but process {peer_id} never executed "
+                                "it — collected before globally executed",
+                            )
+                        )
+
+
 # -- Tempo model ------------------------------------------------------------------
 
 
@@ -454,6 +525,7 @@ def _tempo_digest(process: TempoProcess) -> object:
         len(process.promises),
         buffered,
         tuple((dot.source, dot.sequence) for dot, _ in process.executed),
+        _gc_digest(process),
         info,
     )
 
@@ -466,6 +538,8 @@ def explore_tempo(
     crash_coordinator: bool = False,
     lose_commit: bool = False,
     ack_broadcast: bool = True,
+    commit_elision: bool = True,
+    watermark_gc: bool = True,
     max_states: int = 400_000,
     settle_rounds: int = 8,
     stop_at_first_violation: bool = False,
@@ -481,6 +555,12 @@ def explore_tempo(
     invariant stands — the commit-hint watchdog and ``MCommitRequest``
     machinery must re-deliver the lost commit to everyone.
 
+    ``commit_elision`` and ``watermark_gc`` (both on by default, matching
+    the production process) put the epoch-2 state machines under the model:
+    the digest covers the GC tracker, and with GC on every reachable state
+    is checked against the collection-safety invariant (no dot collected
+    before it executed everywhere).
+
     State-space sizes (exhaustive, clean): the default-config
     ``r=3, 2 commands`` model has 121,225 states with 42,624 final
     (quiescent-then-settled) states; with ``ack_broadcast=False`` the
@@ -494,7 +574,12 @@ def explore_tempo(
     partitioner = Partitioner(1)
     processes = [
         TempoProcess(
-            process_id, config, partitioner=partitioner, ack_broadcast=ack_broadcast
+            process_id,
+            config,
+            partitioner=partitioner,
+            ack_broadcast=ack_broadcast,
+            commit_elision=commit_elision,
+            watermark_gc=watermark_gc,
         )
         for process_id in range(num_processes)
     ]
@@ -508,6 +593,10 @@ def explore_tempo(
 
     interval = config.promise_interval
     recovery_at = config.recovery_timeout + interval
+    #: GC-safety violations observed at intermediate settle rounds of the
+    #: CURRENT final state; ``final_check`` folds them into the result (the
+    #: explorer calls settle and final_check back to back per final state).
+    settle_violations: List[Violation] = []
 
     def settle(
         final_processes: List[ProcessBase], channels: Channels, degraded: bool
@@ -531,6 +620,11 @@ def explore_tempo(
                     process.tick(now)
             _drain_outboxes(final_processes, channels)
             _pump_fifo(final_processes, channels, now)
+            if watermark_gc and not settle_violations:
+                # The watermark only moves during the settle-phase clock
+                # exchange, so the transient windows live here: check after
+                # every round, not just at the settled state.
+                _gc_collection_safety(final_processes, settle_violations)
 
     def timestamp_of(process: TempoProcess, dot) -> Optional[int]:
         return process.committed_timestamp(dot)
@@ -571,6 +665,13 @@ def explore_tempo(
                     )
                 )
 
+    def state_check(
+        current: Sequence[ProcessBase], violations: List[Violation]
+    ) -> None:
+        stability_safety(current, violations)
+        if watermark_gc:
+            _gc_collection_safety(current, violations)
+
     def final_check(
         final_processes: List[ProcessBase], crashed: bool, violations: List[Violation]
     ) -> None:
@@ -581,6 +682,14 @@ def explore_tempo(
             violations,
             require_all=not crashed,
         )
+        if watermark_gc:
+            # Collection happens mostly during settle (the clock exchange
+            # rides the periodic tick), so re-assert GC safety on the
+            # settled state, not just along the schedule — and fold in any
+            # transient violation the per-round settle checks observed.
+            _gc_collection_safety(final_processes, violations)
+            violations.extend(settle_violations)
+            settle_violations.clear()
 
     result = ExplorationResult(protocol=f"tempo r={num_processes} f={faults}")
     return _run(
@@ -592,7 +701,7 @@ def explore_tempo(
         crash_process=dots[0].source if crash_coordinator else None,
         max_states=max_states,
         stop_at_first_violation=stop_at_first_violation,
-        state_check=stability_safety,
+        state_check=state_check,
         lose_predicate=(
             (lambda message: isinstance(message, MCommit)) if lose_commit else None
         ),
@@ -634,6 +743,7 @@ def _caesar_digest(process: CaesarProcess) -> object:
         process.clock,
         deferred,
         tuple((dot.source, dot.sequence) for dot, _ in process.executed),
+        _gc_digest(process),
         info,
     )
 
@@ -643,6 +753,7 @@ def explore_caesar(
     faults: int = 1,
     num_commands: int = 2,
     num_keys: int = 1,
+    watermark_gc: bool = True,
     max_states: int = 400_000,
 ) -> ExplorationResult:
     """Exhaustively explore a bounded Caesar schedule.
@@ -650,12 +761,18 @@ def explore_caesar(
     Checks that the wait condition and dependency-based stability never let
     conflicting commands execute out of timestamp order or diverge across
     replicas.  Caesar here commits purely through messages (no periodic
-    duties), so the settle phase only drives the execution retry tick.
+    duties), so the settle phase only drives the execution retry tick —
+    plus, with ``watermark_gc``, a second round of ticks one ``gc_interval``
+    later so the clock exchange and collection run before the final checks
+    (the GC safety invariant is asserted in every reachable state either
+    way).
     """
     config = ProtocolConfig(num_processes=num_processes, faults=faults)
     partitioner = Partitioner(1)
     processes = [
-        CaesarProcess(process_id, config, partitioner=partitioner)
+        CaesarProcess(
+            process_id, config, partitioner=partitioner, watermark_gc=watermark_gc
+        )
         for process_id in range(num_processes)
     ]
     dots = []
@@ -666,15 +783,23 @@ def explore_caesar(
         dots.append(command.dot)
     expected = set(dots)
 
+    times = [float(round + 1) for round in range(4)]
+    if watermark_gc:
+        # A second tick window one gc_interval later: executions recorded
+        # during the first window get announced, ingested and collected.
+        times.extend(config.gc_interval + round + 1 for round in range(4))
+    settle_violations: List[Violation] = []
+
     def settle(
         final_processes: List[ProcessBase], channels: Channels, crashed: bool
     ) -> None:
-        for round in range(4):
-            now = float(round + 1)
+        for now in times:
             for process in final_processes:
                 process.tick(now)
             _drain_outboxes(final_processes, channels)
             _pump_fifo(final_processes, channels, now)
+            if watermark_gc and not settle_violations:
+                _gc_collection_safety(final_processes, settle_violations)
 
     def timestamp_of(process: CaesarProcess, dot) -> Optional[object]:
         record = process._info.get(dot)
@@ -688,6 +813,10 @@ def explore_caesar(
         _check_common_final_state(
             final_processes, expected, timestamp_of, violations, require_all=True
         )
+        if watermark_gc:
+            _gc_collection_safety(final_processes, violations)
+            violations.extend(settle_violations)
+            settle_violations.clear()
 
     result = ExplorationResult(protocol=f"caesar r={num_processes} f={faults}")
     return _run(
@@ -698,6 +827,7 @@ def explore_caesar(
         final_check,
         crash_process=None,
         max_states=max_states,
+        state_check=_gc_collection_safety if watermark_gc else None,
     )
 
 
@@ -735,6 +865,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=True,
         help="Tempo ack-broadcast optimisation (default on)",
     )
+    parser.add_argument(
+        "--commit-elision",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="Tempo fast-path MCommit elision (default on)",
+    )
+    parser.add_argument(
+        "--watermark-gc",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="globally-executed watermark GC (default on)",
+    )
     parser.add_argument("--max-states", type=int, default=400_000)
     args = parser.parse_args(argv)
     if args.protocol == "tempo":
@@ -746,6 +888,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             crash_coordinator=args.crash,
             lose_commit=args.lose_commit,
             ack_broadcast=args.ack_broadcast,
+            commit_elision=args.commit_elision,
+            watermark_gc=args.watermark_gc,
             max_states=args.max_states,
         )
     else:
@@ -754,6 +898,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             faults=args.faults,
             num_commands=args.commands,
             num_keys=args.keys,
+            watermark_gc=args.watermark_gc,
             max_states=args.max_states,
         )
     print(result.summary())

@@ -267,6 +267,29 @@ class ProcessBase(abc.ABC):
 
     # -- introspection -----------------------------------------------------------
 
+    def memory_footprint(self) -> Dict[str, int]:
+        """Uniform live-state accounting for the memory-bound witnesses.
+
+        ``records`` counts the live per-command bookkeeping (``_info``),
+        ``archived`` the executed history a protocol keeps for dependency
+        computation (zero here; dependency protocols override),
+        ``peak_live_per_key`` the per-key conflict-window high-water mark,
+        and ``gc_collected`` the identifiers dropped by the watermark GC.
+        ``executed`` (the execution-order witness) is deliberately
+        unbounded and reported separately so the bounds can exclude it.
+        """
+        footprint = {
+            "records": len(getattr(self, "_info", ())),
+            "executed": len(self.executed),
+            "archived": 0,
+            "peak_live_per_key": 0,
+            "gc_collected": 0,
+        }
+        gc = getattr(self, "gc", None)
+        if gc is not None:
+            footprint["gc_collected"] = gc.collected_count
+        return footprint
+
     def partition_peers(self) -> Sequence[int]:
         """Processes replicating the same partition (including self)."""
         return self._partition_peers

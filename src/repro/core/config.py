@@ -31,6 +31,11 @@ class ProtocolConfig:
             check (Algorithm 2, line 49).
         recovery_timeout: how long (milliseconds) a pending command may stay
             un-committed before a process attempts recovery.
+        gc_interval: how often (milliseconds) a process announces its
+            executed-watermark clock to its partition peers (epoch-2 GC).
+            Collection latency only bounds the live-record window, so this
+            runs slower than the promise cadence to keep the periodic
+            traffic small.
     """
 
     num_processes: int = 3
@@ -42,6 +47,7 @@ class ProtocolConfig:
     promise_interval: float = 5.0
     stability_interval: float = 5.0
     recovery_timeout: float = 500.0
+    gc_interval: float = 25.0
 
     def __post_init__(self) -> None:
         if self.num_processes < 1:
@@ -59,7 +65,7 @@ class ProtocolConfig:
         if self.batch_max_size < 1:
             raise ValueError("batch_max_size must be >= 1")
         for name in ("batch_max_delay", "promise_interval", "stability_interval",
-                     "recovery_timeout"):
+                     "recovery_timeout", "gc_interval"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
 

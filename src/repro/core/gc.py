@@ -1,0 +1,175 @@
+"""Globally-executed watermark tracking (epoch-2 protocol GC).
+
+fantoch's ``GCTrack``: each process tracks, per same-partition *source*, the
+contiguous frontier ``n`` such that every command ``(source, 1..n)`` has
+executed locally, announces that clock to its partition peers
+(:class:`repro.core.messages.MExecutedClock`, piggybacked on the periodic
+tick traffic), and takes per source the **minimum** frontier announced by
+all partition peers — itself included — as the *globally-executed
+watermark*.  Everything at or below the watermark has executed at every
+replica of the partition, so its protocol bookkeeping (``CommandInfo``
+records, per-key conflict archives, Caesar's committed-timestamp archive)
+can be dropped: no correct protocol step ever needs it again, and late
+duplicates referring to collected identifiers are suppressed by the O(1)
+:meth:`GcTracker.collected` predicate.
+
+Why the frontier is contiguous: a command is submitted at a process of some
+partition it accesses, so every dot minted by a same-partition source is
+eventually executed *here*; dots of foreign sources (cross-partition
+commands submitted elsewhere) are executed here too but are never collected
+— a documented limitation that keeps the frontier per source a single
+integer (the single-shard benchmark deployments have no foreign sources at
+all).
+
+Why crashed peers stay in the minimum: excluding a crashed peer would let
+the survivors drop commit information that the peer — or a recovery acting
+on its behalf after a restart — may still need, wedging it forever.  With
+the peer in the minimum, GC merely *stalls* while it is down and resumes
+once it catches up after a restart (process state survives restarts in this
+deployment model), which is safe under every schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.identifiers import Dot
+
+
+class GcTracker:
+    """Per-process executed-frontier bookkeeping and watermark state."""
+
+    __slots__ = (
+        "process_id",
+        "_sources",
+        "_frontier",
+        "_pending",
+        "_peer_clocks",
+        "_watermark",
+        "_stale",
+        "_dirty",
+        "collected_count",
+    )
+
+    def __init__(self, process_id: int, partition_members: Iterable[int]) -> None:
+        members = tuple(sorted(partition_members))
+        self.process_id = process_id
+        #: Same-partition sources whose dots this tracker follows.
+        self._sources = frozenset(members)
+        #: Per-source contiguous executed frontier at *this* replica.
+        self._frontier: Dict[int, int] = {}
+        #: Out-of-order executed sequences above the frontier (execution is
+        #: timestamp-ordered, not per-source-ordered, so gaps are transient).
+        self._pending: Dict[int, Set[int]] = {}
+        #: Last announced clock per partition peer.  This process's entry
+        #: aliases ``_frontier`` so the local view always participates in
+        #: the minimum without a copy per execution.
+        self._peer_clocks: Dict[int, Dict[int, int]] = {
+            member: {} for member in members
+        }
+        self._peer_clocks[process_id] = self._frontier
+        #: Per-source globally-executed watermark (monotone).
+        self._watermark: Dict[int, int] = {}
+        #: Sources whose minimum may have risen since the last ``advance``.
+        #: The minimum over the peer clocks can only change when an entry
+        #: sitting *at* the current minimum rises, so ``ingest`` and
+        #: ``record_executed`` mark exactly those sources and ``advance``
+        #: recomputes nothing else — the common no-news call is O(1).
+        self._stale: Set[int] = set()
+        #: Whether the local frontier advanced since the last announcement.
+        self._dirty = False
+        #: Total identifiers handed to the owner's ``_collect`` so far (the
+        #: memory-bound witnesses read this).
+        self.collected_count = 0
+
+    # -- local executions -----------------------------------------------------
+
+    def record_executed(self, dot: Dot) -> None:
+        """Note that ``dot`` executed locally; advances the local frontier."""
+        source = dot.source
+        if source not in self._sources:
+            return
+        frontier = self._frontier.get(source, 0)
+        sequence = dot.sequence
+        if sequence <= frontier:
+            return
+        if sequence == frontier + 1:
+            if frontier == self._watermark.get(source, 0):
+                self._stale.add(source)
+            frontier = sequence
+            pending = self._pending.get(source)
+            if pending:
+                while frontier + 1 in pending:
+                    frontier += 1
+                    pending.remove(frontier)
+            self._frontier[source] = frontier
+            self._dirty = True
+            return
+        self._pending.setdefault(source, set()).add(sequence)
+
+    # -- watermark exchange ---------------------------------------------------
+
+    def announcement(self) -> Optional[Dict[int, int]]:
+        """The clock to announce this tick, or ``None`` when nothing moved."""
+        if not self._dirty:
+            return None
+        self._dirty = False
+        return dict(self._frontier)
+
+    def ingest(self, peer: int, clock: Mapping[int, int]) -> None:
+        """Merge a peer's announced clock (entries are monotone)."""
+        known = self._peer_clocks.get(peer)
+        if known is None:
+            return
+        watermark = self._watermark
+        for source, frontier in clock.items():
+            old = known.get(source, 0)
+            if frontier > old:
+                if old == watermark.get(source, 0):
+                    self._stale.add(source)
+                known[source] = frontier
+
+    def advance(self) -> List[Tuple[int, int, int]]:
+        """Recompute the watermark; return newly collectable ranges.
+
+        Each returned triple ``(source, lo, hi)`` covers the dots
+        ``(source, lo..hi)`` that just became globally executed; the owner
+        is expected to drop their bookkeeping.
+        """
+        stale = self._stale
+        if not stale:
+            return []
+        clocks = self._peer_clocks.values()
+        watermark = self._watermark
+        newly: List[Tuple[int, int, int]] = []
+        for source in stale:
+            level = min(clock.get(source, 0) for clock in clocks)
+            old = watermark.get(source, 0)
+            if level > old:
+                watermark[source] = level
+                newly.append((source, old + 1, level))
+                self.collected_count += level - old
+        stale.clear()
+        return newly
+
+    # -- queries ---------------------------------------------------------------
+
+    def collected(self, dot: Dot) -> bool:
+        """O(1) suppression predicate: ``dot`` is globally executed and its
+        bookkeeping has been (or may have been) dropped."""
+        return dot.sequence <= self._watermark.get(dot.source, 0)
+
+    def watermark_of(self, source: int) -> int:
+        return self._watermark.get(source, 0)
+
+    def local_frontier(self, source: int) -> int:
+        return self._frontier.get(source, 0)
+
+    def footprint(self) -> Dict[str, int]:
+        """Size accounting for the memory-bound witnesses."""
+        return {
+            "pending_out_of_order": sum(
+                len(pending) for pending in self._pending.values()
+            ),
+            "collected": self.collected_count,
+        }

@@ -1,18 +1,25 @@
 """Tempo protocol messages.
 
 Every message of Algorithms 1-6 is represented by a dataclass.  Messages
-know how to estimate their wire size (:meth:`Message.size_bytes`), which is
-what the resource/throughput model charges against the NIC budget, and they
-have a real binary codec in :mod:`repro.wire` (:meth:`Message.encoded_size`
-is the *measured* frame size).  The estimate stays the default accounting —
-the golden ``results/*.txt`` files were frozen against it — and the
-estimate-vs-measured gap per kind is tracked by the wire drift report
-(``results/wire_drift.txt``, ``docs/wire_format.md``).
+know their wire size (:meth:`Message.size_bytes`), which is what the
+resource/throughput model charges against the NIC budget, and they have a
+real binary codec in :mod:`repro.wire` (:meth:`Message.encoded_size`
+actually encodes the frame).
+
+Since the epoch-2 re-baseline, ``size_bytes()`` *is* the measured frame
+size: each class computes the exact length of its encoded frame
+arithmetically (:mod:`repro.core.wiresize` mirrors the varint layout of
+``repro/wire/codecs.py``), so the default byte accounting matches the codec
+byte for byte without paying the encoding cost per transmitted message.
+The equality ``size_bytes() == encoded_size()`` is enforced for every kind
+by the wire drift report (``results/wire_drift.txt``,
+``docs/epoch2_rebaseline.md``).
 
 Naming follows the paper: ``MSubmit``, ``MPropose``, ``MProposeAck``,
 ``MPayload``, ``MCommit``, ``MConsensus``, ``MConsensusAck``, ``MBump``,
 ``MPromises``, ``MStable``, ``MRec``, ``MRecAck``, ``MRecNAck`` and
-``MCommitRequest``.
+``MCommitRequest``; ``MPromiseResync`` and ``MExecutedClock`` are
+implementation liveness/GC additions.
 """
 
 from __future__ import annotations
@@ -23,14 +30,21 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 from repro.core.commands import Command
 from repro.core.identifiers import Dot
 from repro.core.phases import Phase
-from repro.core.promises import Promise, PromiseRangeWire, range_wire_count
-
-#: Rough per-message framing overhead in bytes (headers, ids, enums).
-_HEADER_BYTES = 24
-#: Bytes charged per promise entry carried by a message.
-_PROMISE_BYTES = 12
-#: Bytes charged per quorum member entry.
-_QUORUM_ENTRY_BYTES = 4
+from repro.core.promises import Promise, PromiseRangeWire
+from repro.core.wiresize import (
+    attached_map_size,
+    clock_map_size,
+    command_size,
+    dot_set_size,
+    dot_size,
+    frame_size,
+    promise_set_size,
+    quorums_size,
+    range_wire_size,
+    result_size,
+    svarint_size,
+    uvarint_size,
+)
 
 
 @dataclass(frozen=True)
@@ -40,14 +54,30 @@ class Message:
     dot: Dot
 
     def size_bytes(self) -> int:
-        """Approximate serialized size, used by the resource model."""
-        return _HEADER_BYTES
+        """Exact serialized frame size, used by the resource model."""
+        return frame_size(dot_size(self.dot))
+
+    def wire_size(self) -> int:
+        """:meth:`size_bytes` memoised per instance.
+
+        Messages are immutable, so the frame size is computed once and
+        reused; the network charges broadcasts through this, so a message
+        fanned out to many destinations pays the size arithmetic once.
+        """
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            cached = self.size_bytes()
+            self.__dict__["_wire_size"] = cached
+        return cached
 
     def encoded_size(self) -> int:
         """Measured wire size: the length of this message's encoded frame.
 
         Delegates to the :mod:`repro.wire` codec registry (imported lazily;
-        the wire package imports this module to register codecs).
+        the wire package imports this module to register codecs).  Since the
+        epoch-2 re-baseline this equals :meth:`size_bytes` for every kind —
+        the codec bench asserts it — so callers on hot paths should prefer
+        ``size_bytes()``, which never materialises the frame.
         """
         from repro.wire import encoded_size
 
@@ -59,17 +89,6 @@ class Message:
         return type(self).__name__
 
 
-def _quorums_size(quorums: Mapping[int, Tuple[int, ...]]) -> int:
-    size = 0
-    for members in quorums.values():
-        size += _QUORUM_ENTRY_BYTES * (1 + len(members))
-    return size
-
-
-def _promises_size(promises: FrozenSet[Promise]) -> int:
-    return _PROMISE_BYTES * len(promises)
-
-
 @dataclass(frozen=True)
 class MSubmit(Message):
     """Client-facing submission forwarded to the per-partition coordinators."""
@@ -78,7 +97,11 @@ class MSubmit(Message):
     quorums: Mapping[int, Tuple[int, ...]] = field(default_factory=dict)
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + _quorums_size(self.quorums)
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + quorums_size(self.quorums)
+        )
 
 
 @dataclass(frozen=True)
@@ -90,7 +113,12 @@ class MPropose(Message):
     timestamp: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + _quorums_size(self.quorums) + 8
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + quorums_size(self.quorums)
+            + svarint_size(self.timestamp)
+        )
 
 
 @dataclass(frozen=True)
@@ -101,7 +129,7 @@ class MProposeAck(Message):
     ``detached`` is range-encoded (``PromiseRangeWire``): the proposal's
     clock jump issues one contiguous run of detached promises, so the ack
     carries ``{sender: ((lo, hi),)}`` instead of a ``Promise`` per skipped
-    timestamp.  ``size_bytes`` still charges per logical promise.
+    timestamp.
     """
 
     timestamp: int
@@ -109,11 +137,11 @@ class MProposeAck(Message):
     detached: PromiseRangeWire = field(default_factory=dict)
 
     def size_bytes(self) -> int:
-        return (
-            _HEADER_BYTES
-            + 8
-            + _promises_size(self.attached)
-            + _PROMISE_BYTES * range_wire_count(self.detached)
+        return frame_size(
+            dot_size(self.dot)
+            + svarint_size(self.timestamp)
+            + promise_set_size(self.attached)
+            + range_wire_size(self.detached)
         )
 
 
@@ -125,7 +153,11 @@ class MPayload(Message):
     quorums: Mapping[int, Tuple[int, ...]]
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + _quorums_size(self.quorums)
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + quorums_size(self.quorums)
+        )
 
 
 @dataclass(frozen=True)
@@ -144,11 +176,12 @@ class MCommit(Message):
     detached: PromiseRangeWire = field(default_factory=dict)
 
     def size_bytes(self) -> int:
-        return (
-            _HEADER_BYTES
-            + 12
-            + _promises_size(self.attached)
-            + _PROMISE_BYTES * range_wire_count(self.detached)
+        return frame_size(
+            dot_size(self.dot)
+            + svarint_size(self.timestamp)
+            + uvarint_size(self.partition)
+            + promise_set_size(self.attached)
+            + range_wire_size(self.detached)
         )
 
 
@@ -156,27 +189,25 @@ class MCommit(Message):
 class MConsensus(Message):
     """Flexible-Paxos phase-2 message on the slow path / during recovery."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 16
-
     timestamp: int
     ballot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 16
+        return frame_size(
+            dot_size(self.dot)
+            + svarint_size(self.timestamp)
+            + svarint_size(self.ballot)
+        )
 
 
 @dataclass(frozen=True)
 class MConsensusAck(Message):
     """Acceptance of an :class:`MConsensus` proposal."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
-
     ballot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 8
+        return frame_size(dot_size(self.dot) + svarint_size(self.ballot))
 
 
 @dataclass(frozen=True)
@@ -184,13 +215,10 @@ class MBump(Message):
     """Fast-quorum process -> co-located replicas of the other partitions:
     bump their clocks to this proposal (multi-partition optimisation, §4)."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
-
     timestamp: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 8
+        return frame_size(dot_size(self.dot) + svarint_size(self.timestamp))
 
 
 @dataclass(frozen=True)
@@ -210,9 +238,7 @@ class MPromises(Message):
     ``detached`` is range-encoded (``PromiseRangeWire``): detached promises
     are issued by clock jumps and therefore arrive as contiguous runs, so
     the broadcast carries ``(lo, hi)`` intervals straight from the sender's
-    tracker instead of one ``Promise`` per timestamp.  ``size_bytes`` still
-    charges per logical promise, keeping the byte accounting identical to
-    the historical set encoding.
+    tracker instead of one ``Promise`` per timestamp.
     """
 
     detached: PromiseRangeWire = field(default_factory=dict)
@@ -220,11 +246,11 @@ class MPromises(Message):
     committed: FrozenSet[Dot] = frozenset()
 
     def size_bytes(self) -> int:
-        attached_count = sum(len(promises) for promises in self.attached.values())
-        return (
-            _HEADER_BYTES
-            + _PROMISE_BYTES * (range_wire_count(self.detached) + attached_count)
-            + _PROMISE_BYTES * len(self.committed)
+        return frame_size(
+            dot_size(self.dot)
+            + range_wire_size(self.detached)
+            + attached_map_size(self.attached)
+            + dot_set_size(self.committed)
         )
 
 
@@ -232,26 +258,20 @@ class MPromises(Message):
 class MStable(Message):
     """Per-partition stability notification for a multi-partition command."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 4
-
     partition: int = 0
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 4
+        return frame_size(dot_size(self.dot) + uvarint_size(self.partition))
 
 
 @dataclass(frozen=True)
 class MRec(Message):
     """Recovery phase-1 message (Algorithm 4)."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
-
     ballot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 8
+        return frame_size(dot_size(self.dot) + svarint_size(self.ballot))
 
 
 @dataclass(frozen=True)
@@ -259,16 +279,19 @@ class MRecAck(Message):
     """Reply to :class:`MRec` carrying the local timestamp, phase and the
     ballot at which a consensus value was last accepted."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 24
-
     timestamp: int
     phase: Phase
     accepted_ballot: int
     ballot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 24
+        return frame_size(
+            dot_size(self.dot)
+            + svarint_size(self.timestamp)
+            + 1  # phase byte
+            + svarint_size(self.accepted_ballot)
+            + svarint_size(self.ballot)
+        )
 
 
 @dataclass(frozen=True)
@@ -276,13 +299,10 @@ class MRecNAck(Message):
     """Negative acknowledgement telling the recovering leader to retry with a
     higher ballot (Algorithm 6, liveness mechanism)."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
-
     ballot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 8
+        return frame_size(dot_size(self.dot) + svarint_size(self.ballot))
 
 
 @dataclass(frozen=True)
@@ -290,11 +310,8 @@ class MCommitRequest(Message):
     """Ask a process that already committed ``dot`` to re-send its payload
     and commit information (Algorithm 6, liveness mechanism)."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES
-
     def size_bytes(self) -> int:
-        return _HEADER_BYTES
+        return frame_size(dot_size(self.dot))
 
 
 @dataclass(frozen=True)
@@ -319,11 +336,31 @@ class MPromiseResync(Message):
 
     frontier: int = 0
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
+    def size_bytes(self) -> int:
+        return frame_size(dot_size(self.dot) + uvarint_size(self.frontier))
+
+
+@dataclass(frozen=True)
+class MExecutedClock(Message):
+    """Periodic globally-executed watermark exchange (epoch-2 GC).
+
+    ``clock`` maps each same-partition source to the sender's contiguous
+    executed frontier for that source: every command ``(source, 1..n)`` has
+    executed at the sender.  Each process takes, per source, the minimum
+    frontier announced by *all* partition peers (itself included) as the
+    globally-executed watermark and drops the protocol bookkeeping of every
+    command at or below it — fantoch's ``GCTrack`` exchange.  Crashed peers
+    are deliberately *not* excluded from the minimum: a lagging replica may
+    still need commit information, so GC simply stalls while a peer is down
+    (safe, and bounded again once it restarts — restarts preserve process
+    state in this deployment model).  ``dot`` is a sender-identifying
+    sentinel, as in :class:`MPromises`.
+    """
+
+    clock: Mapping[int, int] = field(default_factory=dict)
 
     def size_bytes(self) -> int:
-        return self.FIXED_SIZE_BYTES
+        return frame_size(dot_size(self.dot) + clock_map_size(self.clock))
 
 
 @dataclass(frozen=True)
@@ -333,20 +370,17 @@ class ClientSubmit(Message):
     command: Command
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size
+        return frame_size(dot_size(self.dot) + command_size(self.command))
 
 
 @dataclass(frozen=True)
 class ClientReply(Message):
     """Process -> client: the command was executed; return values omitted."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 16
-
     result: Optional[Dict[str, Optional[str]]] = None
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 16
+        return frame_size(dot_size(self.dot) + result_size(self.result))
 
 
 #: All Tempo protocol message classes, useful for dispatch tables and tests.
@@ -366,4 +400,5 @@ TEMPO_MESSAGE_TYPES = (
     MRecNAck,
     MCommitRequest,
     MPromiseResync,
+    MExecutedClock,
 )

@@ -20,7 +20,8 @@ from repro.core.base import Envelope, ProcessBase
 from repro.core.clock import LogicalClock
 from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
-from repro.core.identifiers import Dot, DotGenerator
+from repro.core.gc import GcTracker
+from repro.core.identifiers import Dot, DotGenerator, intern_dot
 from repro.core.info import CommandInfo
 from repro.core.messages import (
     ClientReply,
@@ -29,6 +30,7 @@ from repro.core.messages import (
     MCommitRequest,
     MConsensus,
     MConsensusAck,
+    MExecutedClock,
     MPayload,
     MPromiseResync,
     MPromises,
@@ -74,6 +76,8 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         quorum_system: Optional[QuorumSystem] = None,
         apply_fn: Optional[ApplyFn] = None,
         ack_broadcast: bool = True,
+        commit_elision: bool = True,
+        watermark_gc: bool = True,
     ) -> None:
         super().__init__(process_id, config)
         self.partitioner = partitioner or Partitioner(config.num_partitions)
@@ -89,6 +93,20 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         #: the same timestamp from the same set of proposals and only
         #: self-commits when the fast-path condition holds.
         self.ack_broadcast = ack_broadcast
+        #: Epoch-2 optimisation: on the fast path, skip the MCommit to the
+        #: own-partition fast-quorum members — with ``ack_broadcast`` they
+        #: hold every proposal of the quorum and self-commit the identical
+        #: timestamp (:meth:`_local_fast_commit`), so the message carries no
+        #: information they lack.  The slow path never elides: consensus
+        #: outcomes are only known to the leader.  Lost-ack liveness is
+        #: covered by the recovery sweep's forced MCommitRequest.
+        self.commit_elision = commit_elision and ack_broadcast
+        #: Epoch-2 GC: globally-executed watermark exchange with the
+        #: partition peers (see :mod:`repro.core.gc`); ``None`` disables
+        #: collection entirely (epoch-1 behaviour).
+        self.gc: Optional[GcTracker] = (
+            GcTracker(process_id, self.partition_peers()) if watermark_gc else None
+        )
         self.clock = LogicalClock()
         self.tracker = PromiseTracker(process_id)
         self.promises = PromiseSet()
@@ -134,6 +152,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         #: command exceeds the recovery timeout.
         self._pending_watch: List[Tuple[float, Dot]] = []
         self._last_promise_broadcast = float("-inf")
+        self._last_gc_announce = float("-inf")
         self._last_stability_check = float("-inf")
         #: Stability-stall watchdog state (see _stability_resync_tick):
         #: the highest stable timestamp ever observed, when the frontier
@@ -157,6 +176,11 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         ] = {}
         #: Sorted ack-broadcast target list per fast-quorum tuple.
         self._ack_target_cache: Dict[Tuple[int, ...], List[int]] = {}
+        #: Fast-path MCommit target list with the self-committing quorum
+        #: members elided, cached per (partition set, fast quorum).
+        self._elided_target_cache: Dict[
+            Tuple[FrozenSet[int], Tuple[int, ...]], List[int]
+        ] = {}
         #: Broadcast target lists (``I_c``) cached per accessed-partition
         #: set; the lists are only ever iterated.
         self._partition_targets: Dict[FrozenSet[int], List[int]] = {}
@@ -182,6 +206,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             MRecNAck: self._on_rec_nack,
             MCommitRequest: self._on_commit_request,
             MPromiseResync: self._on_promise_resync,
+            MExecutedClock: self._on_executed_clock,
         }
 
     # ------------------------------------------------------------------ helpers
@@ -197,7 +222,12 @@ class TempoProcess(RecoveryMixin, ProcessBase):
     def phase_of(self, dot: Dot) -> Phase:
         """Current phase of ``dot`` at this process."""
         record = self._info.get(dot)
-        return record.phase if record is not None else Phase.START
+        if record is not None:
+            return record.phase
+        if self.gc is not None and self.gc.collected(dot):
+            # Collected records were globally executed before being dropped.
+            return Phase.EXECUTE
+        return Phase.START
 
     def committed_timestamp(self, dot: Dot) -> Optional[int]:
         """Final timestamp of ``dot`` if committed or executed here."""
@@ -358,6 +388,8 @@ class TempoProcess(RecoveryMixin, ProcessBase):
 
     def _on_payload(self, sender: int, message: MPayload, now: float) -> None:
         """Store the payload of a command outside the fast quorum (line 9)."""
+        if self.gc is not None and self.gc.collected(message.dot):
+            return  # late duplicate of a globally-executed command
         record = self.info(message.dot)
         if record.phase is not Phase.START:
             return
@@ -375,6 +407,8 @@ class TempoProcess(RecoveryMixin, ProcessBase):
     def _on_propose(self, sender: int, message: MPropose, now: float) -> None:
         """Compute a timestamp proposal as a fast-quorum member (line 12)."""
         dot = message.dot
+        if self.gc is not None and self.gc.collected(dot):
+            return  # late duplicate of a globally-executed command
         record = self.info(dot)
         if record.phase is not Phase.START:
             return
@@ -439,15 +473,29 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         enabled every fast-quorum member also receives the acks and, when
         the fast-path condition holds, commits its partition's timestamp
         locally without waiting for the coordinator's MCommit.
+
+        An ack may overtake the MPropose itself on a reordering link; it is
+        then buffered in a fresh START-phase record instead of dropped —
+        the member's own self-addressed ack (sent when MPropose finally
+        arrives) completes the proposal set and re-runs the fast-path
+        check.  With commit elision the coordinator's MCommit no longer
+        backstops a dropped ack, so the buffering is what keeps the
+        fast path loss-free under reordering.
         """
         dot = message.dot
+        if self.gc is not None and self.gc.collected(dot):
+            return  # late duplicate of a globally-executed command
         record = self._info.get(dot)
-        if record is None or record.phase is not Phase.PROPOSE:
+        if record is None:
+            record = self.info(dot)
+        if record.phase not in (Phase.START, Phase.PROPOSE):
             return
         record.proposals[sender] = message.timestamp
         record.collected_attached.update(message.attached)
         if message.detached:
             record.collected_detached.update(message.detached)
+        if record.phase is not Phase.PROPOSE:
+            return  # buffered: our own proposal has not been computed yet
         fast_quorum = record.quorums.get(self.partition, ())
         proposal_map = record.proposals
         for process in fast_quorum:
@@ -459,7 +507,7 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         is_coordinator = bool(fast_quorum) and fast_quorum[0] == self.process_id
         if count >= self.config.faults:
             if is_coordinator:
-                self._broadcast_commit(dot, record, timestamp, now)
+                self._broadcast_commit(dot, record, timestamp, now, elide=True)
             else:
                 self._local_fast_commit(dot, record, timestamp, now)
         elif is_coordinator:
@@ -491,9 +539,24 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._maybe_commit(dot, now)
 
     def _broadcast_commit(
-        self, dot: Dot, record: CommandInfo, timestamp: int, now: float
+        self,
+        dot: Dot,
+        record: CommandInfo,
+        timestamp: int,
+        now: float,
+        elide: bool = False,
     ) -> None:
-        """Send MCommit for this partition to every process in ``I_c``."""
+        """Send MCommit for this partition to every process in ``I_c``.
+
+        With ``elide`` (fast path only) and ``commit_elision`` enabled, the
+        own-partition fast-quorum members are dropped from the target list:
+        each of them holds the full proposal set through the ack broadcast
+        and self-commits the same timestamp — including the piggybacked
+        attached/detached promises, which it absorbed from the acks
+        themselves.  The coordinator itself, non-quorum peers (who need the
+        promises) and every cross-partition process still receive the
+        message.
+        """
         commit = MCommit(
             dot,
             timestamp=timestamp,
@@ -501,11 +564,23 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             attached=frozenset(record.collected_attached),
             detached=record.collected_detached.to_wire(),
         )
-        self.send(self._targets_for(record.quorums), commit, now)
+        targets = self._targets_for(record.quorums)
+        if elide and self.commit_elision:
+            quorum = record.quorums.get(self.partition, ())
+            key = (frozenset(record.quorums), tuple(quorum))
+            elided = self._elided_target_cache.get(key)
+            if elided is None:
+                skip = set(quorum) - {self.process_id}
+                elided = [t for t in targets if t not in skip]
+                self._elided_target_cache[key] = elided
+            targets = elided
+        self.send(targets, commit, now)
 
     def _on_consensus(self, sender: int, message: MConsensus, now: float) -> None:
         """Accept a Flexible-Paxos phase-2 proposal (line 26)."""
         dot = message.dot
+        if self.gc is not None and self.gc.collected(dot):
+            return  # outcome decided and globally executed long ago
         record = self.info(dot)
         if record.ballot > message.ballot:
             self.send([sender], MRecNAck(dot, record.ballot), now)
@@ -537,6 +612,19 @@ class TempoProcess(RecoveryMixin, ProcessBase):
     def _on_commit(self, sender: int, message: MCommit, now: float) -> None:
         """Record a per-partition commit; commit once all partitions did."""
         dot = message.dot
+        if self.gc is not None and self.gc.collected(dot):
+            # Late duplicate (commit-request or resync reply) for a command
+            # already globally executed: the piggybacked promises are still
+            # absorbed — absorption is idempotent, and the identifier being
+            # executed makes its attached promises directly usable — but no
+            # record is recreated.
+            peers = self.partition_peer_set()
+            if message.detached:
+                self.promises.absorb_ranges(message.detached, only=peers)
+            for promise in message.attached:
+                if promise.process in peers:
+                    self.promises.add_timestamp(promise.process, promise.timestamp)
+            return
         record = self.info(dot)
         record.partition_commits[message.partition] = max(
             record.partition_commits.get(message.partition, 0), message.timestamp
@@ -633,9 +721,15 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         if message.detached:
             self.promises.absorb_ranges(message.detached)
         committed_hints = message.committed
+        gc = self.gc
         for dot, attached in message.attached.items():
             record = self._info.get(dot)
             if record is not None and record.is_committed:
+                self.promises.add_all(attached)
+                continue
+            if gc is not None and gc.collected(dot):
+                # Globally executed and collected: its attached promises are
+                # usable immediately, and no commit info needs requesting.
                 self.promises.add_all(attached)
                 continue
             buffered = self._buffered_attached.get(dot)
@@ -804,7 +898,9 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         while watch:
             hinted_at, dot = watch[0]
             record = self._info.get(dot)
-            if record is not None and record.is_committed:
+            if (record is not None and record.is_committed) or (
+                self.gc is not None and self.gc.collected(dot)
+            ):
                 heappop(watch)
                 self._commit_hinted.discard(dot)
                 continue
@@ -930,6 +1026,8 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         event-handling step, in ``(timestamp, id)`` order, at the same
         simulated instant.
         """
+        if self.gc is not None and self.gc.collected(message.dot):
+            return  # late duplicate of a globally-executed command
         record = self.info(message.dot)
         record.stable_from.add(message.partition)
         if self._step_depth:
@@ -1007,6 +1105,8 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         record.move_to(Phase.EXECUTE)
         del self._committed[dot]
         self.record_execution(dot, command, now)
+        if self.gc is not None:
+            self.gc.record_executed(dot)
         if command.client_id is not None and record.submitted_at is not None:
             # This process submitted the command: reply to the client.
             # Clients are addressed with negative identifiers by the cluster
@@ -1027,12 +1127,80 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         if now - self._last_promise_broadcast >= self.config.promise_interval:
             self._last_promise_broadcast = now
             self.broadcast_promises(now)
+        if now - self._last_gc_announce >= self.config.gc_interval:
+            self._last_gc_announce = now
+            # GC watermark exchange is piggybacked on the periodic tick
+            # traffic but at its own (slower) cadence: collection latency
+            # only bounds the live-record window, so there is no reason to
+            # pay a clock exchange per promise broadcast (epoch-2).
+            self._gc_announce(now)
         if now - self._last_stability_check >= self.config.stability_interval:
             self._last_stability_check = now
             self.stability_check(now)
         self._hint_tick(now)
         self._recovery_tick(now)
         self._stability_resync_tick(now)
+
+    # ------------------------------------------------------------------ watermark GC
+
+    def _gc_announce(self, now: float) -> None:
+        """Announce the local executed clock to the partition peers.
+
+        Only sent when the frontier advanced since the last announcement
+        (the tracker's dirty flag), so an idle partition exchanges nothing.
+        """
+        gc = self.gc
+        if gc is None:
+            return
+        clock = gc.announcement()
+        if clock:
+            sentinel = Dot(self.process_id, self.dot_generator.peek().sequence)
+            targets = [
+                process for process in self.partition_peers()
+                if process != self.process_id
+            ]
+            if targets:
+                self.send(targets, MExecutedClock(sentinel, clock=clock), now)
+        self._gc_sweep()
+
+    def _on_executed_clock(
+        self, sender: int, message: MExecutedClock, now: float
+    ) -> None:
+        """Merge a peer's executed clock and collect below the new watermark."""
+        gc = self.gc
+        if gc is None:
+            return
+        gc.ingest(sender, message.clock)
+        self._gc_sweep()
+
+    def _gc_sweep(self) -> None:
+        """Drop bookkeeping for every newly globally-executed identifier."""
+        gc = self.gc
+        if gc is None:
+            return
+        for source, lo, hi in gc.advance():
+            for sequence in range(lo, hi + 1):
+                self._collect(intern_dot(source, sequence))
+
+    def _collect(self, dot: Dot) -> None:
+        """Forget ``dot`` entirely: it executed at every partition peer.
+
+        Unlike :meth:`compact` (which nulls the payload but keeps the record
+        for duplicate suppression), collection removes the record itself —
+        the watermark predicate (:meth:`GcTracker.collected`) takes over
+        duplicate suppression at O(1) per message, so memory stays
+        proportional to the live command window.
+        """
+        record = self._info.pop(dot, None)
+        assert record is None or record.phase is Phase.EXECUTE, (
+            f"collecting {dot} in phase {record.phase}: watermark ran ahead "
+            "of local execution"
+        )
+        self._buffered_attached.pop(dot, None)
+        self._commit_requested.pop(dot, None)
+        self._commit_rerequested.pop(dot, None)
+        self._recovery_attempted.pop(dot, None)
+        self._commit_hinted.discard(dot)
 
     def _recovery_tick(self, now: float) -> None:
         """Attempt recovery of stuck pending commands (Algorithm 6, line 75).

@@ -1,0 +1,148 @@
+"""Exact wire-frame size arithmetic for the message ``size_bytes()`` methods.
+
+Epoch 2 switched the default byte accounting from modeled estimates to the
+*measured* codec frame sizes (ROADMAP, ``docs/epoch2_rebaseline.md``).
+Actually encoding every transmitted message would cost microseconds per
+message (see ``codec_ns`` in ``BENCH_fig6.json``) on a hot path that the
+fig6 wall-clock gate protects, so the message classes instead compute the
+frame size arithmetically with the helpers below, which mirror the varint
+layout of :mod:`repro.wire.codecs` byte for byte.  The equality
+``message.size_bytes() == message.encoded_size()`` is enforced for every
+registered kind by the wire drift report
+(``benchmarks/test_bench_codec.py`` / ``results/wire_drift.txt``).
+
+This module must not import :mod:`repro.wire`: the wire package imports the
+message modules to register codecs, and the message modules import this one.
+The primitive size functions are therefore small local mirrors of
+``repro/wire/primitives.py`` (LEB128 varints, zigzag signed varints,
+length-prefixed UTF-8 strings).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+
+def uvarint_size(value: int) -> int:
+    """Bytes occupied by an unsigned LEB128 varint (7 payload bits/byte)."""
+    # One byte covers the overwhelmingly common case (process ids, counts,
+    # small sequences); larger values need ceil(bit_length / 7) bytes.
+    if value < 0x80:
+        return 1
+    return (value.bit_length() + 6) // 7
+
+
+def svarint_size(value: int) -> int:
+    """Bytes occupied by a zigzag-encoded signed varint."""
+    return uvarint_size((value << 1) ^ (value >> 63))
+
+
+def string_size(text: str) -> int:
+    """Length-prefixed UTF-8 string: ``uvarint(len) + bytes``."""
+    encoded = len(text.encode("utf-8"))
+    return uvarint_size(encoded) + encoded
+
+
+def optional_string_size(text: Optional[str]) -> int:
+    """One presence flag byte plus the string when present."""
+    if text is None:
+        return 1
+    return 1 + string_size(text)
+
+
+def frame_size(body: int) -> int:
+    """Full frame bytes for a message body: the payload is one kind byte
+    plus the body, length-prefixed by a uvarint."""
+    payload = 1 + body
+    return uvarint_size(payload) + payload
+
+
+def dot_size(dot) -> int:
+    """``uvarint(source) + uvarint(sequence)``."""
+    source = dot.source
+    sequence = dot.sequence
+    return (1 if source < 0x80 else (source.bit_length() + 6) // 7) + (
+        1 if sequence < 0x80 else (sequence.bit_length() + 6) // 7
+    )
+
+
+def dot_set_size(dots: Iterable) -> int:
+    """Count-prefixed set of dots."""
+    size = 0
+    count = 0
+    for dot in dots:
+        size += uvarint_size(dot.source) + uvarint_size(dot.sequence)
+        count += 1
+    return uvarint_size(count) + size
+
+
+def command_size(command) -> int:
+    """Exact encoded size of a :class:`repro.core.commands.Command`."""
+    size = dot_size(command.dot) + uvarint_size(len(command.ops))
+    for op in command.ops:
+        # key string + 1 kind byte + optional value string.
+        size += string_size(op.key) + 1 + optional_string_size(op.value)
+    size += uvarint_size(command.payload_size) + command.payload_size
+    # Client presence flag + optional client id.
+    size += 1
+    if command.client_id is not None:
+        size += svarint_size(command.client_id)
+    return size
+
+
+def quorums_size(quorums: Mapping[int, Tuple[int, ...]]) -> int:
+    """Count-prefixed per-partition member lists."""
+    size = uvarint_size(len(quorums))
+    for partition, members in quorums.items():
+        size += uvarint_size(partition) + uvarint_size(len(members))
+        for member in members:
+            size += uvarint_size(member)
+    return size
+
+
+def promise_set_size(promises) -> int:
+    """Count-prefixed ``(process, timestamp)`` promise pairs."""
+    size = uvarint_size(len(promises))
+    for promise in promises:
+        process = promise.process
+        timestamp = promise.timestamp
+        size += (1 if process < 0x80 else (process.bit_length() + 6) // 7) + (
+            1 if timestamp < 0x80 else (timestamp.bit_length() + 6) // 7
+        )
+    return size
+
+
+def range_wire_size(wire: Mapping[int, Tuple[Tuple[int, int], ...]]) -> int:
+    """Count-prefixed per-process ``(lo, hi - lo)`` span lists."""
+    size = uvarint_size(len(wire))
+    for process, spans in wire.items():
+        size += uvarint_size(process) + uvarint_size(len(spans))
+        for lo, hi in spans:
+            size += uvarint_size(lo) + uvarint_size(hi - lo)
+    return size
+
+
+def attached_map_size(attached: Mapping) -> int:
+    """Count-prefixed map of dot -> promise set."""
+    size = uvarint_size(len(attached))
+    for dot, promises in attached.items():
+        size += dot_size(dot) + promise_set_size(promises)
+    return size
+
+
+def result_size(result: Optional[Mapping[str, Optional[str]]]) -> int:
+    """Presence flag plus the count-prefixed key/value pairs when present."""
+    if result is None:
+        return 1
+    size = 1 + uvarint_size(len(result))
+    for key, value in result.items():
+        size += string_size(key) + optional_string_size(value)
+    return size
+
+
+def clock_map_size(clock: Mapping[int, int]) -> int:
+    """Count-prefixed ``(source, frontier)`` executed-clock entries."""
+    size = uvarint_size(len(clock))
+    for source, frontier in clock.items():
+        size += uvarint_size(source) + uvarint_size(frontier)
+    return size

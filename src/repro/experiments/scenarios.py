@@ -2,8 +2,10 @@
 
 The paper's evaluation runs the protocols on their happy path (plus one
 planned-fault figure); this module sweeps the *unhappy* paths the text only
-argues about — coordinator crashes at different sites and times, a site
-partitioned away and healed, flaky wide-area links, message-class-targeted
+argues about — coordinator crashes at different sites and times, a crashed
+replica restarting with its durable state (the watermark GC must stall for
+the outage and resume after the catch-up), a site partitioned away and
+healed, flaky wide-area links, message-class-targeted
 loss (the cross-partition ``MStable`` notifications multi-shard stability
 depends on) and Zipfian conflict skew — and certifies every cell with the
 :mod:`repro.analysis` trace checker (the run *raises* on any consistency
@@ -33,7 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import ExperimentConfig
 from repro.cluster.runner import run_experiment
-from repro.faults import Crash, FaultPlan, FlakyLink, Partition, TargetedLoss
+from repro.faults import Crash, FaultPlan, FlakyLink, Partition, Restart, TargetedLoss
 
 #: Tail bound (ms) gating the promoted worst cells: recovery timeout
 #: (500 ms) + watchdog lag + wide-area round trips, matching the
@@ -43,7 +45,14 @@ WORST_CELL_TAIL_BOUND_MS = 2_000.0
 #: Fault shapes every protocol is swept through (the acceptance floor is
 #: >= 3 protocols x >= 4 shapes; ``zipf`` rides along as a healthy-but-
 #: skewed control).
-SHAPES: Tuple[str, ...] = ("crash", "partition", "flaky", "targeted", "zipf")
+SHAPES: Tuple[str, ...] = (
+    "crash",
+    "restart",
+    "partition",
+    "flaky",
+    "targeted",
+    "zipf",
+)
 
 
 @dataclass(frozen=True)
@@ -127,6 +136,34 @@ def build_matrix(options: ScenarioOptions = ScenarioOptions()) -> List[ScenarioC
                     tail_gated=protocol == "tempo",
                 )
             )
+    # Crash/restart (crash-recovery variant): site 1 dies mid-run and
+    # returns later holding its durable state.  While it is down the
+    # watermark GC stalls at every survivor (the crashed peer stays in the
+    # minimum); after the restart the replica must catch up via the
+    # periodic liveness machinery and the campaign asserts post-restart
+    # convergence for Tempo — the baselines have no retransmission path,
+    # so their cells report what the outage stranded.
+    restart_at = options.duration_ms * 0.6
+    for protocol in options.protocols:
+        cells.append(
+            ScenarioCell(
+                name=f"restart@s1/t{int(crash_window)}-{int(restart_at)}",
+                protocol=protocol,
+                shape="restart",
+                config=_base_config(
+                    options,
+                    protocol,
+                    fault_plan=FaultPlan(
+                        [
+                            Crash(at_ms=crash_window, site_rank=1),
+                            Restart(at_ms=restart_at, site_rank=1),
+                        ]
+                    ),
+                ),
+                requires_convergence=protocol == "tempo",
+                tail_gated=protocol == "tempo",
+            )
+        )
     # Partition/heal: site 0 isolated from the quorum for a window, then
     # healed; recovery must drain what the window stranded.
     isolated = ((0,), tuple(range(1, options.num_sites)))
@@ -302,6 +339,10 @@ def run_cell(cell: ScenarioCell) -> Dict[str, object]:
         "p99.9": round(result.percentile(99.9), 1),
         "stuck": stuck,
         "converged": "yes" if converged else "no",
+        # Identifiers dropped by the watermark GC across the run: the
+        # witness that collection keeps running (or honestly stalls)
+        # under the cell's fault shape.
+        "gc": int(result.stats.get("gc_collected", 0)),
     }
     if cell.tail_gated:
         assert float(row["p99.9"]) <= WORST_CELL_TAIL_BOUND_MS, (

@@ -35,8 +35,9 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.core.base import Envelope, ProcessBase
 from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
-from repro.core.identifiers import Dot, DotGenerator
-from repro.core.messages import ClientReply
+from repro.core.gc import GcTracker
+from repro.core.identifiers import Dot, DotGenerator, intern_dot
+from repro.core.messages import ClientReply, MExecutedClock
 from repro.core.quorums import QuorumSystem
 from repro.protocols.dep_messages import (
     MCaesarCommit,
@@ -78,6 +79,9 @@ class _DeferredReply:
     #: re-evaluation (and therefore the reply order) matches the historical
     #: single-list scan exactly.
     sequence: int = 0
+    #: Keys the deferred command conflicts on, captured at deferral time so
+    #: index cleanup never needs the (possibly collected) command record.
+    keys: Tuple[str, ...] = ()
 
 
 class CaesarProcess(ProcessBase):
@@ -92,11 +96,19 @@ class CaesarProcess(ProcessBase):
         partitioner: Optional[Partitioner] = None,
         quorum_system: Optional[QuorumSystem] = None,
         apply_fn: Optional[ApplyFn] = None,
+        watermark_gc: bool = True,
     ) -> None:
         super().__init__(process_id, config)
         self.partitioner = partitioner or Partitioner(config.num_partitions)
         self.quorum_system = quorum_system or QuorumSystem(config)
         self.apply_fn = apply_fn
+        #: Epoch-2 GC: globally-executed watermark exchange with the
+        #: partition peers (see :mod:`repro.core.gc`); ``None`` disables
+        #: collection entirely (epoch-1 behaviour).
+        self.gc: Optional[GcTracker] = (
+            GcTracker(process_id, self.partition_peers()) if watermark_gc else None
+        )
+        self._last_gc_announce = float("-inf")
         self.dot_generator = DotGenerator(process_id)
         self.clock = 0
         self._info: Dict[Dot, CaesarInfo] = {}
@@ -129,6 +141,7 @@ class CaesarProcess(ProcessBase):
             MCaesarPropose: self._on_propose,
             MCaesarProposeAck: self._on_propose_ack,
             MCaesarCommit: self._on_commit,
+            MExecutedClock: self._on_executed_clock,
         }
         #: Commands whose replies are currently blocked (for observability
         #: and for the §D pathological-scenario experiments).
@@ -145,7 +158,11 @@ class CaesarProcess(ProcessBase):
 
     def status_of(self, dot: Dot) -> str:
         record = self._info.get(dot)
-        return record.status if record is not None else "start"
+        if record is None:
+            if self.gc is not None and self.gc.collected(dot):
+                return "execute"
+            return "start"
+        return record.status
 
     def new_command(
         self, keys, payload_size: int = 100, client_id: Optional[int] = None
@@ -223,6 +240,8 @@ class CaesarProcess(ProcessBase):
         handler(sender, message, now)
 
     def _on_propose(self, sender: int, message: MCaesarPropose, now: float) -> None:
+        if self.gc is not None and self.gc.collected(message.dot):
+            return
         record = self.info(message.dot)
         if record.status in ("commit", "execute"):
             return
@@ -241,8 +260,11 @@ class CaesarProcess(ProcessBase):
         """Park a blocked reply, indexed by every key it conflicts on."""
         sequence = self._deferred_sequence
         self._deferred_sequence += 1
-        self._deferred[sequence] = _DeferredReply(dot, coordinator, now, sequence)
-        for key in self._info[dot].command.keys:
+        keys = tuple(self._info[dot].command.keys)
+        self._deferred[sequence] = _DeferredReply(
+            dot, coordinator, now, sequence, keys
+        )
+        for key in keys:
             self._deferred_by_key.setdefault(key, set()).add(sequence)
         self.blocked_replies_ever += 1
 
@@ -312,6 +334,8 @@ class CaesarProcess(ProcessBase):
         self.send(self.partition_peers(), commit, now)
 
     def _on_commit(self, sender: int, message: MCaesarCommit, now: float) -> None:
+        if self.gc is not None and self.gc.collected(message.dot):
+            return
         record = self.info(message.dot)
         if record.status in ("commit", "execute"):
             return
@@ -322,7 +346,14 @@ class CaesarProcess(ProcessBase):
         record.committed_at = now
         # Stability only ever has to look at the dependencies that are not
         # yet executed here; the executed history is subtracted once, now.
-        record.live_deps = set(message.dependencies - self._executed_dots)
+        live = set(message.dependencies - self._executed_dots)
+        if self.gc is not None and live:
+            # A peer with a smaller watermark may still list dependencies
+            # collected here; those executed everywhere, so they are
+            # settled by definition.
+            collected = self.gc.collected
+            live = {dep for dep in live if not collected(dep)}
+        record.live_deps = live
         if record.acks:
             record.acks = {}
         heappush(self._commit_heap, (record.timestamp, message.dot))
@@ -360,9 +391,9 @@ class CaesarProcess(ProcessBase):
 
     def _remove_deferred(self, sequence: int, deferred: _DeferredReply) -> None:
         del self._deferred[sequence]
-        # Records are never dropped and a reply is only deferred once the
-        # command is known, so the keys are always recoverable.
-        for key in self._info[deferred.dot].command.keys:
+        # The keys were captured at deferral time, so cleanup works even if
+        # the command's record has since been collected by the watermark GC.
+        for key in deferred.keys:
             bucket = self._deferred_by_key.get(key)
             if bucket is not None:
                 bucket.discard(sequence)
@@ -405,12 +436,17 @@ class CaesarProcess(ProcessBase):
         if not live:
             return True
         info = self._info
+        gc = self.gc
         timestamp = record.timestamp
         settled: List[Dot] = []
         stable = True
         for dependency in live:
             other = info.get(dependency)
             if other is None:
+                if gc is not None and gc.collected(dependency):
+                    # Globally executed and collected: settled forever.
+                    settled.append(dependency)
+                    continue
                 stable = False
                 break
             status = other.status
@@ -438,6 +474,8 @@ class CaesarProcess(ProcessBase):
         self._executed_dots.add(dot)
         record.live_deps = None
         self.record_execution(dot, record.command, now)
+        if self.gc is not None:
+            self.gc.record_executed(dot)
         if record.submitted_here and record.command.client_id is not None:
             self.outbox.append(
                 Envelope(
@@ -452,12 +490,76 @@ class CaesarProcess(ProcessBase):
         # condition, and _on_commit already re-evaluates the replies
         # conflicting with the committed command via the per-key index.
         self._try_execute(now)
+        if now - self._last_gc_announce >= self.config.gc_interval:
+            self._last_gc_announce = now
+            self._gc_announce(now)
+
+    # -- watermark GC -------------------------------------------------------------------
+
+    def _gc_announce(self, now: float) -> None:
+        """Announce the local executed clock to the partition peers (only
+        when the frontier advanced since the last announcement)."""
+        gc = self.gc
+        if gc is None:
+            return
+        clock = gc.announcement()
+        if clock:
+            sentinel = Dot(self.process_id, self.dot_generator.peek().sequence)
+            targets = [
+                process for process in self.partition_peers()
+                if process != self.process_id
+            ]
+            if targets:
+                self.send(targets, MExecutedClock(sentinel, clock=clock), now)
+        self._gc_sweep()
+
+    def _on_executed_clock(
+        self, sender: int, message: MExecutedClock, now: float
+    ) -> None:
+        gc = self.gc
+        if gc is None:
+            return
+        gc.ingest(sender, message.clock)
+        self._gc_sweep()
+
+    def _gc_sweep(self) -> None:
+        gc = self.gc
+        if gc is None:
+            return
+        for source, lo, hi in gc.advance():
+            for sequence in range(lo, hi + 1):
+                self._collect(intern_dot(source, sequence))
+
+    def _collect(self, dot: Dot) -> None:
+        """Forget a globally-executed dot: its record, its committed-
+        timestamp archive entries and its executed-set membership."""
+        record = self._info.pop(dot, None)
+        assert record is None or record.status == "execute", (
+            f"collecting {dot} in status {record.status}: watermark ran "
+            "ahead of local execution"
+        )
+        if record is not None and record.command is not None:
+            committed = self._committed_per_key
+            for key in record.command.keys:
+                archive = committed.get(key)
+                if archive is not None and archive.pop(dot, None) is not None:
+                    if not archive:
+                        del committed[key]
+        self._executed_dots.discard(dot)
 
     # -- introspection -------------------------------------------------------------------
 
     def blocked_count(self) -> int:
         """Number of replies currently delayed by the wait condition."""
         return len(self._deferred)
+
+    def memory_footprint(self) -> Dict[str, int]:
+        footprint = super().memory_footprint()
+        footprint["archived"] = sum(
+            len(bucket) for bucket in self._committed_per_key.values()
+        )
+        footprint["peak_live_per_key"] = self.peak_live_per_key
+        return footprint
 
     def committed_dots(self) -> List[Dot]:
         return [

@@ -3,24 +3,32 @@ and by Caesar.
 
 They mirror the structure of the Tempo messages in
 :mod:`repro.core.messages` and implement the same ``size_bytes`` interface
-for the resource model.
+for the resource model: since the epoch-2 re-baseline, ``size_bytes()``
+computes the exact encoded frame length (:mod:`repro.core.wiresize`) and
+equals ``encoded_size()`` for every kind.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Mapping, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
 
 from repro.core.commands import Command
 from repro.core.identifiers import Dot
 from repro.core.messages import Message
+from repro.core.wiresize import (
+    command_size,
+    dot_set_size,
+    dot_size,
+    frame_size,
+    svarint_size,
+    uvarint_size,
+)
 
-_HEADER_BYTES = 24
-_DEP_BYTES = 12
 
-
-def _deps_size(dependencies: FrozenSet[Dot]) -> int:
-    return _DEP_BYTES * len(dependencies)
+def _ts_pair_size(timestamp: Tuple[int, int]) -> int:
+    """Caesar's ``(clock, process)`` timestamp pair: two signed varints."""
+    return svarint_size(timestamp[0]) + svarint_size(timestamp[1])
 
 
 @dataclass(frozen=True)
@@ -32,7 +40,12 @@ class MPreAccept(Message):
     sequence: int = 0
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + _deps_size(self.dependencies)
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + dot_set_size(self.dependencies)
+            + svarint_size(self.sequence)
+        )
 
 
 @dataclass(frozen=True)
@@ -43,7 +56,11 @@ class MPreAcceptAck(Message):
     sequence: int = 0
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + _deps_size(self.dependencies)
+        return frame_size(
+            dot_size(self.dot)
+            + dot_set_size(self.dependencies)
+            + svarint_size(self.sequence)
+        )
 
 
 @dataclass(frozen=True)
@@ -56,11 +73,12 @@ class MDepAccept(Message):
     ballot: int
 
     def size_bytes(self) -> int:
-        return (
-            _HEADER_BYTES
-            + self.command.payload_size
-            + _deps_size(self.dependencies)
-            + 16
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + dot_set_size(self.dependencies)
+            + svarint_size(self.sequence)
+            + svarint_size(self.ballot)
         )
 
 
@@ -68,13 +86,10 @@ class MDepAccept(Message):
 class MDepAcceptAck(Message):
     """Acceptance of a slow-path proposal."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 8
-
     ballot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 8
+        return frame_size(dot_size(self.dot) + svarint_size(self.ballot))
 
 
 @dataclass(frozen=True)
@@ -87,11 +102,12 @@ class MDepCommit(Message):
     shard: int = 0
 
     def size_bytes(self) -> int:
-        return (
-            _HEADER_BYTES
-            + self.command.payload_size
-            + _deps_size(self.dependencies)
-            + 8
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + dot_set_size(self.dependencies)
+            + svarint_size(self.sequence)
+            + uvarint_size(self.shard)
         )
 
 
@@ -106,7 +122,11 @@ class MCaesarPropose(Message):
     timestamp: Tuple[int, int]
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + 16
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + _ts_pair_size(self.timestamp)
+        )
 
 
 @dataclass(frozen=True)
@@ -118,7 +138,12 @@ class MCaesarProposeAck(Message):
     accepted: bool = True
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 17 + _deps_size(self.dependencies)
+        return frame_size(
+            dot_size(self.dot)
+            + _ts_pair_size(self.timestamp)
+            + dot_set_size(self.dependencies)
+            + 1  # accepted flag byte
+        )
 
 
 @dataclass(frozen=True)
@@ -130,7 +155,12 @@ class MCaesarRetry(Message):
     dependencies: FrozenSet[Dot]
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + 16 + _deps_size(self.dependencies)
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + _ts_pair_size(self.timestamp)
+            + dot_set_size(self.dependencies)
+        )
 
 
 @dataclass(frozen=True)
@@ -141,7 +171,11 @@ class MCaesarRetryAck(Message):
     dependencies: FrozenSet[Dot]
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 16 + _deps_size(self.dependencies)
+        return frame_size(
+            dot_size(self.dot)
+            + _ts_pair_size(self.timestamp)
+            + dot_set_size(self.dependencies)
+        )
 
 
 @dataclass(frozen=True)
@@ -153,7 +187,12 @@ class MCaesarCommit(Message):
     dependencies: FrozenSet[Dot]
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + 16 + _deps_size(self.dependencies)
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + _ts_pair_size(self.timestamp)
+            + dot_set_size(self.dependencies)
+        )
 
 
 # -- FPaxos -----------------------------------------------------------------------
@@ -166,7 +205,7 @@ class MForward(Message):
     command: Command
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size
+        return frame_size(dot_size(self.dot) + command_size(self.command))
 
 
 @dataclass(frozen=True)
@@ -178,21 +217,27 @@ class MAccept(Message):
     ballot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + 16
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + svarint_size(self.slot)
+            + svarint_size(self.ballot)
+        )
 
 
 @dataclass(frozen=True)
 class MAccepted(Message):
     """Acceptor -> leader: slot accepted."""
 
-    #: Wire size is instance-independent; batched stats multiply this.
-    FIXED_SIZE_BYTES = _HEADER_BYTES + 16
-
     slot: int
     ballot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 16
+        return frame_size(
+            dot_size(self.dot)
+            + svarint_size(self.slot)
+            + svarint_size(self.ballot)
+        )
 
 
 @dataclass(frozen=True)
@@ -203,7 +248,11 @@ class MDecided(Message):
     slot: int
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.command.payload_size + 8
+        return frame_size(
+            dot_size(self.dot)
+            + command_size(self.command)
+            + svarint_size(self.slot)
+        )
 
 
 # -- Janus* -------------------------------------------------------------------------
@@ -217,7 +266,11 @@ class MJanusDeps(Message):
     dependencies: FrozenSet[Dot]
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + 8 + _deps_size(self.dependencies)
+        return frame_size(
+            dot_size(self.dot)
+            + uvarint_size(self.shard)
+            + dot_set_size(self.dependencies)
+        )
 
 
 #: All baseline-protocol message classes, mirroring ``TEMPO_MESSAGE_TYPES``:

@@ -25,8 +25,9 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.core.base import Envelope, ProcessBase
 from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
-from repro.core.identifiers import Dot, DotGenerator
-from repro.core.messages import ClientReply
+from repro.core.gc import GcTracker
+from repro.core.identifiers import Dot, DotGenerator, intern_dot
+from repro.core.messages import ClientReply, MExecutedClock
 from repro.core.quorums import QuorumSystem
 from repro.protocols.dep_messages import (
     MDepAccept,
@@ -124,6 +125,25 @@ class KeyConflicts:
             )
         return cache
 
+    def drop_archived(self, dot: Dot, read_only: bool) -> None:
+        """Forget a *globally executed* dot from the archive (epoch-2 GC).
+
+        Unlike :meth:`retire` this changes the combined views, so the
+        caches must be invalidated.  Dropping is safe exactly because the
+        dot executed at every partition peer: a dependency edge on it would
+        be satisfied everywhere before any newly submitted command can
+        execute anywhere, so omitting it from future dependency sets
+        changes no execution order.
+        """
+        executed = self.executed
+        if dot not in executed:
+            return
+        executed.discard(dot)
+        self._all_cache = None
+        if not read_only:
+            self.executed_writes.discard(dot)
+            self._writes_cache = None
+
 
 @dataclass
 class DepInfo:
@@ -159,11 +179,19 @@ class DependencyProtocolProcess(ProcessBase):
         quorum_system: Optional[QuorumSystem] = None,
         apply_fn: Optional[ApplyFn] = None,
         read_write_aware: bool = True,
+        watermark_gc: bool = True,
     ) -> None:
         super().__init__(process_id, config)
         self.partitioner = partitioner or Partitioner(config.num_partitions)
         self.quorum_system = quorum_system or QuorumSystem(config)
         self.apply_fn = apply_fn
+        #: Epoch-2 GC: globally-executed watermark exchange with the
+        #: partition peers (see :mod:`repro.core.gc`); ``None`` disables
+        #: collection entirely (epoch-1 behaviour).
+        self.gc: Optional[GcTracker] = (
+            GcTracker(process_id, self.partition_peers()) if watermark_gc else None
+        )
+        self._last_gc_announce = float("-inf")
         #: Whether reads only depend on writes (the read/write distinction of
         #: §3.3 that dependency-based protocols can exploit).
         self.read_write_aware = read_write_aware
@@ -178,7 +206,9 @@ class DependencyProtocolProcess(ProcessBase):
         #: by the number of in-flight commands.
         self._conflicts: Dict[str, Set[Dot]] = {}
         self._max_sequence_per_key: Dict[str, int] = {}
-        self.executor = DependencyGraphExecutor()
+        self.executor = DependencyGraphExecutor(
+            collected=self.gc.collected if self.gc is not None else None
+        )
         #: Message-type -> bound handler (exact class match); bound methods
         #: resolve subclass overrides (e.g. Janus) correctly.
         self._dispatch: Dict[type, Callable[[int, object, float], None]] = {
@@ -187,6 +217,7 @@ class DependencyProtocolProcess(ProcessBase):
             MDepAccept: self._on_accept,
             MDepAcceptAck: self._on_accept_ack,
             MDepCommit: self._on_commit,
+            MExecutedClock: self._on_executed_clock,
         }
 
     # -- protocol parameters (overridden by subclasses) ---------------------------
@@ -216,7 +247,11 @@ class DependencyProtocolProcess(ProcessBase):
 
     def status_of(self, dot: Dot) -> str:
         record = self._info.get(dot)
-        return record.status if record is not None else "start"
+        if record is None:
+            if self.gc is not None and self.gc.collected(dot):
+                return "execute"
+            return "start"
+        return record.status
 
     def committed_dependencies(self, dot: Dot) -> FrozenSet[Dot]:
         """Dependencies the command committed with (empty if not committed)."""
@@ -356,6 +391,8 @@ class DependencyProtocolProcess(ProcessBase):
         handler(sender, message, now)
 
     def _on_preaccept(self, sender: int, message: MPreAccept, now: float) -> None:
+        if self.gc is not None and self.gc.collected(message.dot):
+            return
         record = self.info(message.dot)
         if record.status in ("commit", "execute"):
             return
@@ -407,6 +444,8 @@ class DependencyProtocolProcess(ProcessBase):
             self.send(self._slow_quorum(), accept, now)
 
     def _on_accept(self, sender: int, message: MDepAccept, now: float) -> None:
+        if self.gc is not None and self.gc.collected(message.dot):
+            return
         record = self.info(message.dot)
         if record.status in ("commit", "execute"):
             return
@@ -443,6 +482,8 @@ class DependencyProtocolProcess(ProcessBase):
         self.send(sorted(set(self._commit_targets(record))), commit, now)
 
     def _on_commit(self, sender: int, message: MDepCommit, now: float) -> None:
+        if self.gc is not None and self.gc.collected(message.dot):
+            return
         record = self.info(message.dot)
         if record.status in ("commit", "execute"):
             return
@@ -477,6 +518,8 @@ class DependencyProtocolProcess(ProcessBase):
             record.status = "execute"
             self._retire_executed(record.command)
             self.record_execution(dot, record.command, now)
+            if self.gc is not None:
+                self.gc.record_executed(dot)
             if record.submitted_here and record.command.client_id is not None:
                 self.outbox.append(
                     Envelope(
@@ -492,6 +535,63 @@ class DependencyProtocolProcess(ProcessBase):
         newly = self.executor.advance()
         if newly:
             self._execute_all(newly, now)
+        if now - self._last_gc_announce >= self.config.gc_interval:
+            self._last_gc_announce = now
+            self._gc_announce(now)
+
+    # -- watermark GC -------------------------------------------------------------------
+
+    def _gc_announce(self, now: float) -> None:
+        """Announce the local executed clock to the partition peers (only
+        when the frontier advanced since the last announcement)."""
+        gc = self.gc
+        if gc is None:
+            return
+        clock = gc.announcement()
+        if clock:
+            sentinel = Dot(self.process_id, self.dot_generator.peek().sequence)
+            targets = [
+                process for process in self.partition_peers()
+                if process != self.process_id
+            ]
+            if targets:
+                self.send(targets, MExecutedClock(sentinel, clock=clock), now)
+        self._gc_sweep()
+
+    def _on_executed_clock(
+        self, sender: int, message: MExecutedClock, now: float
+    ) -> None:
+        gc = self.gc
+        if gc is None:
+            return
+        gc.ingest(sender, message.clock)
+        self._gc_sweep()
+
+    def _gc_sweep(self) -> None:
+        gc = self.gc
+        if gc is None:
+            return
+        for source, lo, hi in gc.advance():
+            for sequence in range(lo, hi + 1):
+                self._collect(intern_dot(source, sequence))
+
+    def _collect(self, dot: Dot) -> None:
+        """Forget a globally-executed dot: its record, its per-key archive
+        entries (with cache invalidation) and its dependency-graph node."""
+        record = self._info.pop(dot, None)
+        assert record is None or record.status == "execute", (
+            f"collecting {dot} in status {record.status}: watermark ran "
+            "ahead of local execution"
+        )
+        if record is not None and record.command is not None:
+            command = record.command
+            read_only = command.is_read_only()
+            index = self._conflict_index
+            for key in command.keys:
+                summary = index.get(key)
+                if summary is not None:
+                    summary.drop_archived(dot, read_only)
+        self.executor.collect(dot)
 
     # -- introspection -------------------------------------------------------------------
 
@@ -527,3 +627,10 @@ class DependencyProtocolProcess(ProcessBase):
             peak = max(peak, summary.peak_live)
             archived += len(summary.executed)
         return {"live": live, "peak_live": peak, "archived": archived}
+
+    def memory_footprint(self) -> Dict[str, int]:
+        footprint = super().memory_footprint()
+        conflicts = self.conflict_footprint()
+        footprint["archived"] = conflicts["archived"]
+        footprint["peak_live_per_key"] = conflicts["peak_live"]
+        return footprint

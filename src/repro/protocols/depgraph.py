@@ -19,7 +19,17 @@ and identifier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.identifiers import Dot
 
@@ -40,7 +50,15 @@ class CommittedNode:
 class DependencyGraph:
     """The committed dependency graph at one process."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, collected: Optional[Callable[[Dot], bool]] = None
+    ) -> None:
+        #: Watermark-GC predicate (epoch-2): a collected dot is globally
+        #: executed and its node/executed-set entries may have been dropped
+        #: by :meth:`collect`.  A dependency on a collected dot is satisfied
+        #: by definition, so commits filter such dots out of their live
+        #: dependency sets instead of treating them as missing.
+        self._collected = collected
         self._nodes: Dict[Dot, CommittedNode] = {}
         self._executed: Set[Dot] = set()
         #: Committed-but-unexecuted dots in commit order (insertion-ordered
@@ -67,6 +85,12 @@ class DependencyGraph:
             return False
         dependencies = frozenset(dependencies)
         live = set(dependencies - self._executed)
+        collected = self._collected
+        if collected is not None and live:
+            # Peers with a smaller watermark may still emit dependencies on
+            # dots collected here; those executed everywhere already, so
+            # they must not re-enter the missing/blocked bookkeeping.
+            live = {dep for dep in live if not collected(dep)}
         self._nodes[dot] = CommittedNode(
             dot=dot, dependencies=dependencies, sequence=sequence, live_deps=live
         )
@@ -101,6 +125,16 @@ class DependencyGraph:
                 dependent_node = nodes.get(dependent)
                 if dependent_node is not None:
                     dependent_node.live_deps.discard(dot)
+
+    def collect(self, dot: Dot) -> None:
+        """Drop a globally-executed dot's node and executed-set entries.
+
+        Only valid for dots already executed here (the caller's watermark
+        guarantees it); duplicate suppression for late references moves to
+        the ``collected`` predicate supplied at construction.
+        """
+        self._executed.discard(dot)
+        self._nodes.pop(dot, None)
 
     def is_committed(self, dot: Dot) -> bool:
         return dot in self._nodes
@@ -295,8 +329,10 @@ class DependencyGraph:
 class DependencyGraphExecutor:
     """Drives a :class:`DependencyGraph` and records the execution order."""
 
-    def __init__(self) -> None:
-        self.graph = DependencyGraph()
+    def __init__(
+        self, collected: Optional[Callable[[Dot], bool]] = None
+    ) -> None:
+        self.graph = DependencyGraph(collected=collected)
         self.execution_order: List[Dot] = []
         self.component_sizes: List[int] = []
         #: Whether the committed subgraph changed since the last advance().
@@ -344,6 +380,12 @@ class DependencyGraphExecutor:
                 self.execution_order.append(dot)
                 newly.append(dot)
         return newly
+
+    def collect(self, dot: Dot) -> None:
+        """Prune a globally-executed dot from the graph (the recorded
+        ``execution_order`` is deliberately kept: it is the equivalence and
+        convergence witness, like ``ProcessBase.executed``)."""
+        self.graph.collect(dot)
 
     def executed(self) -> Tuple[Dot, ...]:
         return tuple(self.execution_order)

@@ -36,9 +36,11 @@ class NetworkOptions:
     #: When true, every transmitted message is additionally run through the
     #: ``repro.wire`` codec and its *measured* frame size recorded in the
     #: ``encoded_*`` stats columns, next to the ``size_bytes()`` estimates.
-    #: Off by default: the default accounting (and every ``results/*.txt``
-    #: golden file) charges the historical estimates only, and measuring
-    #: costs one encode per message.
+    #: Off by default: since the epoch-2 re-baseline the default accounting
+    #: (and every ``results/*.txt`` golden file) already charges the exact
+    #: codec frame sizes — ``size_bytes()`` mirrors the ``repro.wire``
+    #: codecs byte-for-byte — so measuring is a zero-drift cross-check that
+    #: costs one encode per message, not a correction.
     measure_encoded: bool = False
 
     def __post_init__(self) -> None:
@@ -110,8 +112,9 @@ class NetworkStats:
     #: Measured codec columns, populated only with
     #: ``NetworkOptions.measure_encoded``: total encoded frame bytes of the
     #: transmitted messages, the extra bytes the ``MBatch`` envelopes add on
-    #: top of their inner frames, and the per-kind measured/estimated byte
-    #: split feeding :meth:`Network.drift_report`.
+    #: top of their inner frames, and the per-kind measured/declared byte
+    #: split feeding :meth:`Network.drift_report` (gated at zero drift
+    #: since the epoch-2 re-baseline).
     encoded_bytes: int = 0
     encoded_batch_overhead: int = 0
     per_kind_encoded: Dict[str, int] = field(default_factory=dict)
@@ -348,8 +351,12 @@ class Network:
     ) -> Tuple[str, Optional[Callable[[object], int]], Optional[int]]:
         """Build and cache the stats metadata for one message type."""
         # Cache the *unbound* class attribute: a bound method would pin
-        # the first instance seen for this type.
-        size = getattr(message_type, "size_bytes", None)
+        # the first instance seen for this type.  ``wire_size`` (the
+        # per-instance memoised size) is preferred so broadcasts charge the
+        # size arithmetic once per message rather than once per destination.
+        size = getattr(message_type, "wire_size", None)
+        if size is None:
+            size = getattr(message_type, "size_bytes", None)
         fixed = getattr(message_type, "FIXED_SIZE_BYTES", None)
         info = (
             message_type.__name__,

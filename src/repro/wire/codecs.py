@@ -39,6 +39,7 @@ from repro.core.messages import (
     MCommitRequest,
     MConsensus,
     MConsensusAck,
+    MExecutedClock,
     MPayload,
     MPromiseResync,
     MPromises,
@@ -463,6 +464,24 @@ def _dec_mpromiseresync(r: Reader) -> MPromiseResync:
     return MPromiseResync(_read_dot(r), frontier=r.read_uvarint())
 
 
+def _enc_mexecutedclock(buf, m: MExecutedClock) -> None:
+    _write_dot(buf, m.dot)
+    write_uvarint(buf, len(m.clock))
+    for source in sorted(m.clock):
+        write_uvarint(buf, source)
+        write_uvarint(buf, m.clock[source])
+
+
+def _dec_mexecutedclock(r: Reader) -> MExecutedClock:
+    dot = _read_dot(r)
+    count = r.read_uvarint()
+    clock = {}
+    for _ in range(count):
+        source = r.read_uvarint()
+        clock[source] = r.read_uvarint()
+    return MExecutedClock(dot, clock=clock)
+
+
 def _enc_clientsubmit(buf, m: ClientSubmit) -> None:
     _write_dot(buf, m.dot)
     _write_command(buf, m.command)
@@ -693,6 +712,7 @@ _REGISTRY_SPEC: Tuple[Tuple[int, type, Callable, Callable], ...] = (
     (30, MDecided, _enc_mdecided, _dec_mdecided),
     (31, MJanusDeps, _enc_mjanusdeps, _dec_mjanusdeps),
     (32, MPromiseResync, _enc_mpromiseresync, _dec_mpromiseresync),
+    (33, MExecutedClock, _enc_mexecutedclock, _dec_mexecutedclock),
 )
 
 #: Message class -> (kind byte, body encoder); the class keys mirror the

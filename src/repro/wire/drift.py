@@ -1,15 +1,16 @@
-"""Estimate-vs-measured drift report.
+"""Declared-vs-measured drift report.
 
-``Message.size_bytes()`` is the historical byte *model* (24-byte header plus
-field estimates) that the throughput/resource figures were calibrated
-against; the wire codecs produce the *measured* frame size.  The two
-disagree for most kinds — varint packing beats the flat header model by a
-wide margin — but the golden ``results/*.txt`` files were frozen against
-the model, so the corrections land here as a report instead of silently
-rewriting the accounting: each row carries the measured size as the
-``corrected`` estimate, and kinds drifting beyond :data:`DRIFT_THRESHOLD`
-are flagged (and listed in ``docs/wire_format.md``).  The epoch-2
-re-baseline (ROADMAP) is where corrected estimates become the default.
+Epoch 1 shipped ``Message.size_bytes()`` as a byte *model* (24-byte header
+plus field estimates) while the wire codecs produced the *measured* frame
+size; the two disagreed for most kinds and this report tracked the gap.
+Since the epoch-2 re-baseline, ``size_bytes()`` computes the exact encoded
+frame size (it mirrors the ``repro.wire`` codecs byte-for-byte), the golden
+``results/*.txt`` files are frozen against the measured sizes, and the
+report's job inverted: ``results/wire_drift.txt`` must show zero drift for
+every kind, and any row beyond :data:`DRIFT_THRESHOLD` — or any nonzero
+drift, per the tests — means the declared size and the codec have fallen
+out of sync (e.g. a codec change without the matching ``size_bytes()``
+update).
 """
 
 from __future__ import annotations
@@ -48,8 +49,9 @@ def drift_rows(
                 "measured_bytes": round(measure / count, 1) if counts else measure,
                 "drift_pct": round(100.0 * drift, 1),
                 "drifted": drift > DRIFT_THRESHOLD,
-                # The fix satellite: the corrected estimate IS the measured
-                # size; it replaces size_bytes() at the epoch-2 re-baseline.
+                # Kept for golden-format stability: since epoch 2 the
+                # declared size IS the measured size, so this column must
+                # equal ``measured_bytes`` on every row.
                 "corrected_estimate": round(measure / count, 1) if counts else measure,
             }
         )

@@ -26,6 +26,7 @@ from repro.core.messages import (
     MCommitRequest,
     MConsensus,
     MConsensusAck,
+    MExecutedClock,
     MPayload,
     MPromiseResync,
     MPromises,
@@ -95,6 +96,7 @@ def sample_messages(payload_size: int = 100) -> Dict[str, object]:
         "MRecNAck": MRecNAck(dot, 5),
         "MCommitRequest": MCommitRequest(dot),
         "MPromiseResync": MPromiseResync(dot, frontier=17),
+        "MExecutedClock": MExecutedClock(dot, clock={0: 12, 1: 9, 2: 36}),
         "ClientSubmit": ClientSubmit(dot, command),
         "ClientReply": ClientReply(dot, result={"key-0": str(dot)}),
         "MPreAccept": MPreAccept(dot, command, deps, 4),

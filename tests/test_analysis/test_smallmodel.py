@@ -11,6 +11,7 @@ run; the CI ``analysis`` job drives the larger ones (default-config Tempo at
 from __future__ import annotations
 
 from repro.analysis.smallmodel import explore_caesar, explore_tempo
+from repro.core.gc import GcTracker
 
 
 class TestTempoModels:
@@ -56,6 +57,85 @@ class TestTempoModels:
     def test_two_keys_do_not_interfere(self):
         # Commands on distinct keys still share the timestamp lattice.
         result = explore_tempo(num_commands=2, num_keys=2, ack_broadcast=False)
+        assert result.complete and result.ok, result.summary()
+
+
+class TestEpoch2Models:
+    """The epoch-2 state machines (MCommit elision, watermark GC) under the
+    exhaustive model, plus a mutation proving the GC safety invariant has
+    teeth: no committed command may be collected before it is globally
+    executed."""
+
+    def test_elision_and_gc_exhaustive(self):
+        # Both epoch-2 features on (explicitly — they are also the
+        # defaults): every interleaving closes clean, with the GC safety
+        # invariant asserted in every reachable state and every settle
+        # round.
+        result = explore_tempo(
+            num_commands=2,
+            ack_broadcast=False,
+            commit_elision=True,
+            watermark_gc=True,
+        )
+        assert result.complete, result.summary()
+        assert result.ok, result.summary()
+
+    def test_elision_off_matches_epoch1_commit_path(self):
+        result = explore_tempo(
+            num_commands=2, ack_broadcast=False, commit_elision=False
+        )
+        assert result.complete and result.ok, result.summary()
+
+    def test_gc_off_matches_epoch1_state_machine(self):
+        result = explore_tempo(
+            num_commands=2, ack_broadcast=False, watermark_gc=False
+        )
+        assert result.complete and result.ok, result.summary()
+
+    def test_elision_under_coordinator_crash(self):
+        # Elided commits + recovery: the self-committing fast-quorum
+        # members must still propagate the outcome to everyone when the
+        # coordinator dies mid-broadcast.
+        result = explore_tempo(
+            num_commands=1,
+            crash_coordinator=True,
+            ack_broadcast=False,
+            commit_elision=True,
+            watermark_gc=True,
+        )
+        assert result.complete, result.summary()
+        assert result.ok, result.summary()
+
+    def test_premature_collection_is_caught(self, monkeypatch):
+        # Mutation: advance the watermark straight to the LOCAL frontier,
+        # skipping the min-over-peers step.  Under the coordinator-crash
+        # model there are schedules where the crashed replica never
+        # executed the command the survivors now collect, so the
+        # exhaustive gate must report the GC safety violation.
+        def premature_advance(self):
+            newly = []
+            for source, frontier in self._frontier.items():
+                old = self._watermark.get(source, 0)
+                if frontier > old:
+                    self._watermark[source] = frontier
+                    newly.append((source, old + 1, frontier))
+                    self.collected_count += frontier - old
+            self._stale.clear()
+            return newly
+
+        monkeypatch.setattr(GcTracker, "advance", premature_advance)
+        result = explore_tempo(
+            num_commands=1,
+            crash_coordinator=True,
+            ack_broadcast=False,
+            stop_at_first_violation=True,
+        )
+        assert not result.ok
+        codes = {violation.code for violation in result.violations}
+        assert "gc-before-global-execution" in codes, result.summary()
+
+    def test_caesar_gc_off_matches_epoch1(self):
+        result = explore_caesar(num_commands=2, watermark_gc=False)
         assert result.complete and result.ok, result.summary()
 
 

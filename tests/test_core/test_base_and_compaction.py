@@ -110,8 +110,13 @@ class TestTempoCompaction:
     def _cluster(self):
         config = ProtocolConfig(num_processes=3, faults=1)
         partitioner = Partitioner(1)
+        # Watermark GC off: these tests exercise the epoch-1 ``compact()``
+        # path, which only applies when collection has not already removed
+        # the records (see tests/test_core/test_gc.py for the epoch-2 path).
         processes = [
-            TempoProcess(process_id, config, partitioner=partitioner)
+            TempoProcess(
+                process_id, config, partitioner=partitioner, watermark_gc=False
+            )
             for process_id in range(3)
         ]
         return processes, InlineNetwork(processes)

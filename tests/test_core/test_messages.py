@@ -37,7 +37,14 @@ class TestSizes:
     def test_payload_bearing_messages_scale_with_payload(self):
         small = MPropose(Dot(0, 1), _command(100), {0: (0, 1)}, 1)
         large = MPropose(Dot(0, 1), _command(4096), {0: (0, 1)}, 1)
-        assert large.size_bytes() - small.size_bytes() == 4096 - 100
+        # Epoch-2: sizes are exact frame lengths, so the delta includes the
+        # wider payload-length varint and frame-length prefix, not just the
+        # payload bytes themselves.
+        assert large.size_bytes() - small.size_bytes() >= 4096 - 100
+        assert (
+            large.size_bytes() - small.size_bytes()
+            == large.encoded_size() - small.encoded_size()
+        )
 
     def test_commit_does_not_carry_the_payload(self):
         commit = MCommit(Dot(0, 1), timestamp=4)
@@ -49,15 +56,21 @@ class TestSizes:
         loaded = MPromises(Dot(0, 1), detached={0: ((1, 10),)})
         assert loaded.size_bytes() > empty.size_bytes()
 
-    def test_range_encoded_detached_charges_per_logical_promise(self):
-        """A (lo, hi) range is charged as hi - lo + 1 promises, exactly the
-        byte count of the historical ``FrozenSet[Promise]`` encoding."""
+    def test_range_encoded_detached_charges_per_wire_span(self):
+        """Epoch-2: ranges are charged as the codec encodes them — per
+        ``(lo, hi)`` span, not per logical promise — so a fragmented set of
+        the same promises genuinely costs more bytes."""
         as_range = MPromises(Dot(0, 1), detached={0: ((1, 10),)})
         split = MPromises(Dot(0, 1), detached={0: ((1, 4), (6, 11))})
-        assert as_range.size_bytes() == split.size_bytes()
+        assert as_range.size_bytes() < split.size_bytes()
+        assert as_range.size_bytes() == as_range.encoded_size()
+        assert split.size_bytes() == split.encoded_size()
         commit_range = MCommit(Dot(0, 1), 3, detached={1: ((2, 5),)})
         commit_base = MCommit(Dot(0, 1), 3)
-        assert commit_range.size_bytes() - commit_base.size_bytes() == 4 * 12
+        assert (
+            commit_range.size_bytes() - commit_base.size_bytes()
+            == commit_range.encoded_size() - commit_base.encoded_size()
+        )
 
     def test_all_message_types_report_positive_sizes(self):
         samples = [
@@ -87,7 +100,7 @@ class TestSizes:
             "MSubmit", "MPropose", "MProposeAck", "MPayload", "MCommit",
             "MConsensus", "MConsensusAck", "MBump", "MPromises", "MStable",
             "MRec", "MRecAck", "MRecNAck", "MCommitRequest",
-            "MPromiseResync",
+            "MPromiseResync", "MExecutedClock",
         }
 
 
@@ -119,10 +132,10 @@ class TestStructure:
         assert ack.accepted_ballot == 0
 
 
-class TestFixedSizeDeclarations:
-    """Kinds declaring ``FIXED_SIZE_BYTES`` promise an instance-independent
-    wire size; the batched network accounting multiplies instead of calling
-    ``size_bytes`` per message, so the declaration must match exactly."""
+class TestExactSizes:
+    """Epoch-2: no kind declares ``FIXED_SIZE_BYTES`` any more — varint
+    encoding makes every size instance-dependent — and ``size_bytes()`` must
+    equal the measured encoded frame length for every kind."""
 
     def _instances(self):
         from repro.protocols.dep_messages import MAccepted, MDepAcceptAck
@@ -142,18 +155,17 @@ class TestFixedSizeDeclarations:
             MAccepted(dot, 7, 1),
         ]
 
-    def test_every_declared_fixed_size_matches_size_bytes(self):
-        covered = set()
-        for message in self._instances():
-            declared = getattr(type(message), "FIXED_SIZE_BYTES", None)
-            assert declared is not None, type(message).__name__
-            assert message.size_bytes() == declared, type(message).__name__
-            covered.add(type(message).__name__)
-        assert len(covered) == len(self._instances())
+    def test_no_kind_declares_a_fixed_size(self):
+        from repro.core.messages import TEMPO_MESSAGE_TYPES
+        from repro.protocols.dep_messages import DEP_MESSAGE_TYPES
 
-    def test_variable_size_kinds_do_not_declare_fixed_sizes(self):
-        for message_type in (MSubmit, MPropose, MProposeAck, MPayload,
-                             MCommit, MPromises, ClientSubmit):
+        for message_type in TEMPO_MESSAGE_TYPES + DEP_MESSAGE_TYPES:
             assert getattr(message_type, "FIXED_SIZE_BYTES", None) is None, (
                 message_type.__name__
+            )
+
+    def test_size_bytes_equals_encoded_size(self):
+        for message in self._instances():
+            assert message.size_bytes() == message.encoded_size(), (
+                type(message).__name__
             )

@@ -46,6 +46,7 @@ def run_workload(r, f, schedule, reorder_seed=None, ack_broadcast=True):
                 partitioner=partitioner,
                 apply_fn=store.apply,
                 ack_broadcast=ack_broadcast,
+                watermark_gc=False,
             )
         )
     network = InlineNetwork(processes)
@@ -160,7 +161,9 @@ def test_crash_of_one_replica_preserves_safety(schedule, victim):
     config = ProtocolConfig(num_processes=3, faults=1)
     partitioner = Partitioner(1)
     processes = [
-        TempoProcess(process_id, config, partitioner=partitioner)
+        TempoProcess(
+            process_id, config, partitioner=partitioner, watermark_gc=False
+        )
         for process_id in range(3)
     ]
     network = InlineNetwork(processes)

@@ -19,7 +19,13 @@ def build_cluster(r=5, f=1):
         store = KeyValueStore()
         stores[process_id] = store
         processes.append(
-            TempoProcess(process_id, config, partitioner=partitioner, apply_fn=store.apply)
+            TempoProcess(
+                process_id,
+                config,
+                partitioner=partitioner,
+                apply_fn=store.apply,
+                watermark_gc=False,
+            )
         )
     return processes, stores, InlineNetwork(processes)
 

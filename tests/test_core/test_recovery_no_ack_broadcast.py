@@ -21,7 +21,11 @@ def build_cluster(r=5, f=1):
     partitioner = Partitioner(1)
     processes = [
         TempoProcess(
-            process_id, config, partitioner=partitioner, ack_broadcast=False
+            process_id,
+            config,
+            partitioner=partitioner,
+            ack_broadcast=False,
+            watermark_gc=False,
         )
         for process_id in range(r)
     ]

@@ -105,7 +105,8 @@ class TestExhaustiveness:
         assert TYPE_TO_KIND[dep_messages.MPreAccept] == 17
         assert TYPE_TO_KIND[dep_messages.MJanusDeps] == 31
         assert TYPE_TO_KIND[core_messages.MPromiseResync] == 32
-        assert len(TYPE_TO_KIND) == 33
+        assert TYPE_TO_KIND[core_messages.MExecutedClock] == 33
+        assert len(TYPE_TO_KIND) == 34
 
     def test_codec_exhaustiveness_lint_agrees(self):
         # The same closure properties, as enforced repo-wide by

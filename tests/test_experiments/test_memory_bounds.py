@@ -1,0 +1,72 @@
+"""Epoch-2 memory-bound regression: live state is O(in-flight), not O(run).
+
+The watermark GC's whole point is that protocol bookkeeping no longer grows
+with run length: per-command ``_info`` records and per-key executed archives
+are dropped once globally executed, and the per-key conflict window is
+bounded by concurrency.  These tests run the same contended fig6-style cell
+at a base duration and at 10× that duration and assert the memory columns
+stay flat — a laundering of the archives back into O(executed) growth fails
+here long before it would OOM a real deployment.
+
+The columns come from :meth:`ProcessBase.memory_footprint` via the
+experiment stats (``live_records`` / ``archived_records`` /
+``peak_live_per_key`` / ``gc_collected``); ``BENCH_fig6.json`` carries the
+same columns for the full benchmark and CI gates them there too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import ExperimentConfig
+from repro.cluster.runner import run_experiment
+
+
+def run_cell(protocol: str, duration_ms: float) -> dict:
+    config = ExperimentConfig(
+        protocol=protocol,
+        num_sites=5,
+        faults=1,
+        clients_per_site=4,
+        conflict_rate=0.15,
+        duration_ms=duration_ms,
+        warmup_ms=100.0,
+        seed=1,
+    )
+    return run_experiment(config).stats
+
+
+BASE_MS = 400.0
+LONG_MS = 4_000.0  # 10x
+
+
+class TestMemoryStaysFlat:
+    @pytest.mark.parametrize("protocol", ["tempo", "atlas", "caesar"])
+    def test_live_state_does_not_scale_with_run_length(self, protocol):
+        short = run_cell(protocol, BASE_MS)
+        long = run_cell(protocol, LONG_MS)
+
+        # The run processed ~10x the commands...
+        assert long["gc_collected"] > 4 * short["gc_collected"]
+
+        # ...but the end-of-run live records and executed archives drained
+        # to (at most) a straggler tail awaiting the final clock exchange,
+        # independent of duration.
+        tail = 2 * 5 * 4  # two commands per client still in flight
+        assert long["live_records"] <= tail, long
+        assert long["archived_records"] <= tail, long
+
+        # The per-key conflict window is bounded by concurrency, not run
+        # length: 10x the duration may not widen the high-water mark beyond
+        # noise.
+        assert long["peak_live_per_key"] <= short["peak_live_per_key"] + 4, (
+            short["peak_live_per_key"],
+            long["peak_live_per_key"],
+        )
+
+    def test_gc_actually_collected_the_history(self):
+        stats = run_cell("tempo", BASE_MS)
+        # The collected count is the witness that records existed and were
+        # dropped (not that nothing was ever tracked).
+        assert stats["gc_collected"] > 100, stats["gc_collected"]
+        assert stats["live_records"] == 0, stats["live_records"]

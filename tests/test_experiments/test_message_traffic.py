@@ -77,17 +77,19 @@ def run_fig6_row(protocol: str, faults: int) -> dict:
 class TestFig6Traffic:
     """Traffic-count regression gates for the fig6 contended workload.
 
-    The ceilings sit ~25 % above the counts measured after the range-native
-    promise pipeline + stability-notification slimming (see
+    The ceilings sit ~25 % above the counts measured at the epoch-2
+    re-baseline: MCommit elision trims Tempo's commit fan-out, while the
+    watermark-GC clock exchange (``MExecutedClock`` at the ``gc_interval``
+    cadence) adds a small periodic stream to every protocol (see
     ``BENCH_fig6.json`` for the full-benchmark numbers); a CI failure here
     means a change re-inflated the message traffic of the contended path.
     """
 
     #: Measured messages_sent per protocol (seed 1), with ~25 % headroom.
     CEILINGS = {
-        ("tempo", 1): (10_570, 13_200),
-        ("atlas", 1): (4_923, 6_200),
-        ("epaxos", 1): (4_663, 5_900),
+        ("tempo", 1): (10_320, 12_900),
+        ("atlas", 1): (6_267, 7_800),
+        ("epaxos", 1): (5_499, 6_900),
     }
 
     def test_fig6_message_counts_stay_bounded(self):

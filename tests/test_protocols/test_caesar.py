@@ -84,7 +84,7 @@ class TestWaitCondition:
         assert blocked_total > 0
 
     def test_execution_waits_for_smaller_timestamp_dependencies(self, make_cluster):
-        cluster = make_cluster("caesar", r=3, f=1)
+        cluster = make_cluster("caesar", r=3, f=1, watermark_gc=False)
         first = cluster.submit(0, ["hot"])
         second = cluster.submit(1, ["hot"])
         cluster.settle(rounds=30)

@@ -33,7 +33,7 @@ def drive_hot_key_traffic(cluster, count: int = 10, key: str = "hot"):
 
 class TestDependencyPruning:
     def test_executed_commands_leave_the_live_sets(self, make_cluster):
-        cluster = make_cluster("atlas")
+        cluster = make_cluster("atlas", watermark_gc=False)
         commands = drive_hot_key_traffic(cluster)
         for process in cluster.processes:
             for command in commands:
@@ -47,7 +47,7 @@ class TestDependencyPruning:
     def test_emitted_dependencies_still_cover_pruned_history(self, make_cluster):
         """Pruning must not change what _conflicts_of computes: a new
         conflicting command still depends on the executed (pruned) ones."""
-        cluster = make_cluster("atlas")
+        cluster = make_cluster("atlas", watermark_gc=False)
         commands = drive_hot_key_traffic(cluster, count=6)
         follow_up = cluster.submit(0, ["hot"])
         cluster.settle(rounds=40)
@@ -57,7 +57,7 @@ class TestDependencyPruning:
             assert command.dot in dependencies
 
     def test_late_commit_redelivery_for_pruned_dot_is_ignored(self, make_cluster):
-        cluster = make_cluster("atlas")
+        cluster = make_cluster("atlas", watermark_gc=False)
         commands = drive_hot_key_traffic(cluster, count=4)
         target = cluster.processes[1]
         executed_before = len(target.executed)
@@ -74,7 +74,7 @@ class TestDependencyPruning:
         assert target.conflict_footprint()["live"] == 0
 
     def test_late_preaccept_for_pruned_dot_is_ignored(self, make_cluster):
-        cluster = make_cluster("atlas")
+        cluster = make_cluster("atlas", watermark_gc=False)
         commands = drive_hot_key_traffic(cluster, count=4)
         target = cluster.processes[2]
         executed_before = len(target.executed)
@@ -87,7 +87,7 @@ class TestDependencyPruning:
     def test_preaccept_referencing_pruned_dependencies_recovers(self, make_cluster):
         """A fresh command whose carried dependencies mention executed
         (locally pruned) dots must still commit and execute."""
-        cluster = make_cluster("atlas")
+        cluster = make_cluster("atlas", watermark_gc=False)
         commands = drive_hot_key_traffic(cluster, count=4)
         follow_up = cluster.submit(3, ["hot"])
         cluster.settle(rounds=40)
@@ -99,7 +99,7 @@ class TestDependencyPruning:
 
 class TestCaesarPruning:
     def test_committed_commands_leave_known_per_key(self, make_cluster):
-        cluster = make_cluster("caesar")
+        cluster = make_cluster("caesar", watermark_gc=False)
         commands = drive_hot_key_traffic(cluster)
         for process in cluster.processes:
             live = sum(len(bucket) for bucket in process._known_per_key.values())
@@ -111,7 +111,7 @@ class TestCaesarPruning:
             assert process.peak_live_per_key <= len(commands)
 
     def test_reply_dependencies_still_cover_pruned_history(self, make_cluster):
-        cluster = make_cluster("caesar")
+        cluster = make_cluster("caesar", watermark_gc=False)
         commands = drive_hot_key_traffic(cluster, count=6)
         follow_up = cluster.submit(0, ["hot"])
         cluster.settle(rounds=40)
@@ -120,7 +120,7 @@ class TestCaesarPruning:
             assert command.dot in record.dependencies
 
     def test_late_propose_for_committed_dot_is_ignored(self, make_cluster):
-        cluster = make_cluster("caesar")
+        cluster = make_cluster("caesar", watermark_gc=False)
         commands = drive_hot_key_traffic(cluster, count=4)
         target = cluster.processes[1]
         record = target._info[commands[0].dot]
@@ -150,6 +150,10 @@ class TestBoundedUnderContention:
             duration_ms=duration_ms,
             warmup_ms=300.0,
             seed=1,
+            # Epoch-1 semantics under test: the archive keeps the whole
+            # executed history.  With watermark GC on, the archive itself
+            # is collected (tests/test_core/test_gc.py covers that).
+            protocol_kwargs={"watermark_gc": False},
         )
         result = run_experiment(config)
         return config, result

@@ -113,7 +113,9 @@ class TestClosedLoopScale:
         assert len(all_replies) == clients
         assert agree
         # The pruning scheme holds on the asyncio runtime too: everything
-        # executed, so nothing stays in the live conflict window.
+        # executed, so nothing stays in the live conflict window, and the
+        # epoch-2 watermark GC drains the executed archive down to (at
+        # most) a straggler tail still awaiting the final clock exchange.
         for footprint in footprints:
             assert footprint["live"] == 0, footprint
-            assert footprint["archived"] > 0
+            assert footprint["archived"] <= clients, footprint

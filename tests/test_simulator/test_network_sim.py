@@ -96,8 +96,10 @@ class TestNetwork:
         assert stats.per_kind_encoded["MPayload"] == encoded_size(payload)
         assert stats.per_kind_estimated["MStable"] == stable.size_bytes()
         rows = {row["kind"]: row for row in network.drift_report()}
-        assert rows["MStable"]["drifted"] is True
+        # Epoch-2: size_bytes() is the exact frame length, so nothing drifts.
+        assert rows["MStable"]["drifted"] is False
         assert rows["MPayload"]["drifted"] is False
+        assert stats.bytes_sent == stats.encoded_bytes
 
     def test_measure_encoded_covers_batches(self):
         from repro.core.identifiers import Dot
