@@ -29,12 +29,17 @@ the schedule (once per path); the settle phase then jumps past the recovery
 timeout so Algorithm 4 runs, and the invariants are asserted over the
 surviving replicas.
 
-The optional message-loss branch (``lose_commit``) drops one in-flight
-commit broadcast at every depth (once per path, fair-lossy links): the
-receiver then knows the identifier only through promises, and the model
-proves the liveness machinery (commit hints, the hint watchdog's forced
-``MCommitRequest``, §B.1 recovery) re-delivers the commit — the full
-liveness invariant still holds with no process crashed.
+The optional message-loss branch (``lose_kinds``; ``lose_commit`` is the
+``["MCommit"]`` alias) drops one in-flight message of any registered kind
+at every depth (once per path, fair-lossy links): the model then proves
+the liveness machinery — commit hints, the hint watchdog's forced
+``MCommitRequest``, §B.1 recovery, the promise-resync watchdog, and the
+cross-shard ``MStableRequest`` watchdog — re-delivers what was lost; the
+full liveness invariant still holds with no process crashed.  A
+two-partition topology (``num_partitions=2``) makes every command
+cross-shard, so losing a cross-partition ``MStable`` is exhaustively
+enumerated — the model counterpart of the scenario matrix's
+``mstable-loss/x-shard`` cell.
 
 Epoch-2 state machines are part of the model: ``commit_elision`` toggles
 the fast-path MCommit elision (fast-quorum members self-commit, so the
@@ -537,6 +542,8 @@ def explore_tempo(
     num_keys: int = 1,
     crash_coordinator: bool = False,
     lose_commit: bool = False,
+    lose_kinds: Optional[Sequence[str]] = None,
+    num_partitions: int = 1,
     ack_broadcast: bool = True,
     commit_elision: bool = True,
     watermark_gc: bool = True,
@@ -550,10 +557,21 @@ def explore_tempo(
     are submitted up front at distinct replicas; every delivery interleaving
     is explored.  With ``crash_coordinator`` the replica submitting the
     first command may crash at any depth, exercising recovery (Algorithm 4).
-    With ``lose_commit`` one in-flight ``MCommit`` broadcast may vanish at
-    any depth (once per path): no process crashes, so the full liveness
-    invariant stands — the commit-hint watchdog and ``MCommitRequest``
-    machinery must re-deliver the lost commit to everyone.
+
+    The loss transition generalises over message kinds: ``lose_kinds`` names
+    the registered message classes (for instance ``["MCommit", "MStable"]``)
+    of which one in-flight instance may vanish at any depth (once per path,
+    fair-lossy links); ``lose_commit`` is the backwards-compatible alias for
+    ``lose_kinds=["MCommit"]``.  No process crashes on a loss path, so the
+    full liveness invariant stands — the commit-hint watchdog,
+    ``MCommitRequest``/``MPromiseResync`` machinery and the cross-shard
+    ``MStableRequest`` watchdog must re-deliver whatever was lost.
+
+    ``num_partitions=2`` builds a two-partition topology (``num_processes``
+    replicas *per partition*); every command then accesses one key in each
+    partition, so commit and stability must cross the shard boundary and a
+    lost cross-partition ``MStable`` is exhaustively enumerated — the model
+    counterpart of the scenario matrix's ``mstable-loss/x-shard`` cell.
 
     ``commit_elision`` and ``watermark_gc`` (both on by default, matching
     the production process) put the epoch-2 state machines under the model:
@@ -570,8 +588,18 @@ def explore_tempo(
     first settled state that breaks an invariant instead of enumerating
     the rest of the space.
     """
-    config = ProtocolConfig(num_processes=num_processes, faults=faults)
-    partitioner = Partitioner(1)
+    config = ProtocolConfig(
+        num_processes=num_processes, faults=faults, num_partitions=num_partitions
+    )
+    if num_partitions == 1:
+        partitioner = Partitioner(1)
+    else:
+        partitioner = Partitioner(
+            num_partitions,
+            explicit={
+                f"key{partition}": partition for partition in range(num_partitions)
+            },
+        )
     processes = [
         TempoProcess(
             process_id,
@@ -581,12 +609,18 @@ def explore_tempo(
             commit_elision=commit_elision,
             watermark_gc=watermark_gc,
         )
-        for process_id in range(num_processes)
+        for process_id in range(config.total_processes())
     ]
     dots = []
     for index in range(num_commands):
-        submitter = processes[index % num_processes]
-        command = submitter.new_command([f"key{index % num_keys}"])
+        submitter = processes[index % len(processes)]
+        if num_partitions == 1:
+            keys = [f"key{index % num_keys}"]
+        else:
+            # One key per partition: every command is cross-shard, so its
+            # execution needs the remote partitions' MStable notifications.
+            keys = [f"key{partition}" for partition in range(num_partitions)]
+        command = submitter.new_command(keys)
         submitter.submit(command, 0.0)
         dots.append(command.dot)
     expected = set(dots)
@@ -691,7 +725,13 @@ def explore_tempo(
             violations.extend(settle_violations)
             settle_violations.clear()
 
-    result = ExplorationResult(protocol=f"tempo r={num_processes} f={faults}")
+    lose_names = set(lose_kinds or ())
+    if lose_commit:
+        lose_names.add(MCommit.__name__)
+    protocol_label = f"tempo r={num_processes} f={faults}"
+    if num_partitions > 1:
+        protocol_label += f" p={num_partitions}"
+    result = ExplorationResult(protocol=protocol_label)
     return _run(
         result,
         processes,
@@ -703,7 +743,9 @@ def explore_tempo(
         stop_at_first_violation=stop_at_first_violation,
         state_check=state_check,
         lose_predicate=(
-            (lambda message: isinstance(message, MCommit)) if lose_commit else None
+            (lambda message: type(message).__name__ in lose_names)
+            if lose_names
+            else None
         ),
     )
 
@@ -860,6 +902,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="allow one in-flight MCommit broadcast to be lost (tempo only)",
     )
     parser.add_argument(
+        "--lose-kind",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help="allow one in-flight message of this class (e.g. MStable) to be "
+        "lost; repeatable (tempo only)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="number of partitions (PROCESSES replicas each); >1 makes every "
+        "command cross-shard (tempo only)",
+    )
+    parser.add_argument(
         "--ack-broadcast",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -878,6 +935,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="globally-executed watermark GC (default on)",
     )
     parser.add_argument("--max-states", type=int, default=400_000)
+    parser.add_argument(
+        "--bounded",
+        action="store_true",
+        help="treat a clean run truncated by --max-states as success: a "
+        "sound-but-bounded sweep for models too large to close (e.g. the "
+        "6-process two-partition topology); any protocol violation inside "
+        "the explored prefix still fails",
+    )
     args = parser.parse_args(argv)
     if args.protocol == "tempo":
         result = explore_tempo(
@@ -887,6 +952,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_keys=args.keys,
             crash_coordinator=args.crash,
             lose_commit=args.lose_commit,
+            lose_kinds=args.lose_kind,
+            num_partitions=args.partitions,
             ack_broadcast=args.ack_broadcast,
             commit_elision=args.commit_elision,
             watermark_gc=args.watermark_gc,
@@ -904,6 +971,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(result.summary())
     for violation in result.violations:
         print(f"  {violation}")
+    if args.bounded and result.stop_reason == "max_states":
+        protocol_violations = [
+            violation
+            for violation in result.violations
+            if violation.code != "state-budget"
+        ]
+        return 1 if protocol_violations else 0
     return 0 if result.ok else 1
 
 

@@ -25,7 +25,9 @@ from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
 from repro.core.quorums import QuorumSystem
 from repro.faults.injector import FaultInjector
+from repro.faults.plan import Crash
 from repro.kvstore.sharding import ShardMap
+from repro.reliability import RetransmitBuffer
 from repro.kvstore.store import KeyValueStore
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.throughput import ThroughputTracker
@@ -247,6 +249,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             ).process_id,
             num_shards=config.num_shards,
         ).install(simulation)
+        # Reliable delivery (ack-driven retransmission + the promise-GC
+        # ack floor) arms only for plans that can *lose or delay* traffic:
+        # restarts, partitions, flaky links, targeted loss.  A crash-only
+        # plan drops no message a live process will ever need again (the
+        # crashed replica never returns), so those runs — and with them
+        # the crash-tail goldens — stay byte-identical to the seed.
+        if any(not isinstance(event, Crash) for event in fault_plan):
+            for process in deployment.processes:
+                process.enable_reliability(RetransmitBuffer(process.process_id))
 
     simulation.run(until=config.duration_ms + 4_000.0)
 
@@ -281,6 +292,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         max(f["peak_live_per_key"] for f in footprints)
     )
     stats["gc_collected"] = float(sum(f["gc_collected"] for f in footprints))
+    # Reliable-delivery counters (only present when the run armed it), so
+    # the bounded-retransmission tests can assert "no storm" directly.
+    buffers = [
+        process.reliability.stats()
+        for process in deployment.processes
+        if process.reliability is not None
+    ]
+    if buffers:
+        for key in ("tracked", "acked", "resends", "expired", "stale_acks", "pending"):
+            stats[f"retransmit_{key}"] = float(sum(b[key] for b in buffers))
     # Per-kind message counts (e.g. ``sent:MCommitRequest``) so message-
     # traffic regressions are visible to tests and the CI smoke job.
     for kind in sorted(network_stats.per_kind):

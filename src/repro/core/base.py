@@ -97,6 +97,15 @@ class ProcessBase(abc.ABC):
         self.executed: List[Tuple[Dot, Command]] = []
         self._execution_listeners: List[ExecutionListener] = []
         self.alive = True
+        #: Recovery epoch: bumped on every :meth:`recover_process`, stamped
+        #: into delivery acks so the reliable-delivery layer can tell a
+        #: pre-crash ack from a post-restart one.
+        self.epoch = 0
+        #: Reliable-delivery state (:class:`repro.reliability.RetransmitBuffer`),
+        #: installed by :meth:`enable_reliability` only for runs whose fault
+        #: plan can lose messages; ``None`` — the default — keeps every hook
+        #: a single attribute test so healthy runs stay bit-identical.
+        self.reliability = None
         #: Which peers this process currently believes to be alive; runtimes
         #: (or tests) update it to emulate a failure detector.
         self.alive_view: Dict[int, bool] = {}
@@ -241,9 +250,59 @@ class ProcessBase(abc.ABC):
         self.alive = False
 
     def recover_process(self) -> None:
-        """Un-crash the process (used only by tests; the paper assumes
-        crash-stop failures)."""
+        """Un-crash the process (crash-recovery model: the replica returns
+        holding its durable state under a new recovery epoch)."""
         self.alive = True
+        self.epoch += 1
+
+    # -- reliable delivery -------------------------------------------------------
+
+    def enable_reliability(self, buffer) -> None:
+        """Install a retransmit buffer (:mod:`repro.reliability`).
+
+        Protocols gate all reliable-delivery work — tracking critical
+        outbound messages, acking tracked inbound ones, retransmission on
+        ticks — on ``self.reliability is not None``, so a process without a
+        buffer behaves (and costs) exactly as before this layer existed.
+        """
+        self.reliability = buffer
+
+    def _reliability_tick(self, now: float) -> None:
+        """Re-send tracked messages whose ack is overdue (called from every
+        protocol's ``tick``; no-op without a buffer)."""
+        buffer = self.reliability
+        if buffer is None:
+            return
+        for destination, message in buffer.due(now):
+            self.send([destination], message, now)
+
+    def _on_delivery_ack(self, sender: int, message: object, now: float) -> None:
+        """Retire the retransmit-buffer entry a peer just acknowledged.
+
+        Protocols with promise state override this to also absorb the
+        piggybacked frontier (the promise-GC floor); they must call up.
+        """
+        buffer = self.reliability
+        if buffer is not None:
+            buffer.record_ack(sender, message.kind_id, message.dot, message.epoch)
+
+    def _ack_delivery(
+        self, sender: int, kind_id: int, dot: Dot, now: float, frontier: int = 0
+    ) -> None:
+        """Send one delivery ack for a tracked inbound message.
+
+        Callers gate on ``self.reliability is not None`` and on
+        ``sender != self.process_id`` (self-deliveries need no ack).
+        """
+        # Imported here, not at module level: ``repro.core.messages`` is a
+        # sibling leaf module and this path only runs with a buffer installed.
+        from repro.core.messages import MDeliveryAck
+
+        self.send(
+            [sender],
+            MDeliveryAck(dot, kind_id=kind_id, epoch=self.epoch, frontier=frontier),
+            now,
+        )
 
     def believes_alive(self, process: int) -> bool:
         """Failure-detector view of ``process`` (defaults to alive)."""

@@ -364,6 +364,55 @@ class MExecutedClock(Message):
 
 
 @dataclass(frozen=True)
+class MDeliveryAck(Message):
+    """Acknowledge delivery of one tracked critical message.
+
+    The reliable-delivery layer (:mod:`repro.reliability`) retransmits
+    commit broadcasts and cross-partition stability notifications until
+    the receiver acknowledges them.  ``dot`` is the acknowledged message's
+    dot and ``kind_id`` its wire kind byte, together naming the exact
+    retransmit-buffer entry to retire; ``epoch`` is the acker's recovery
+    epoch (acks from before a restart are stale); ``frontier`` piggybacks
+    the acker's contiguous promise frontier *for the message's sender*,
+    feeding the acknowledgement-driven floor in
+    ``PromiseTracker.compact()`` (0 for protocols without promises).
+    """
+
+    kind_id: int = 0
+    epoch: int = 0
+    frontier: int = 0
+
+    def size_bytes(self) -> int:
+        return frame_size(
+            dot_size(self.dot)
+            + uvarint_size(self.kind_id)
+            + uvarint_size(self.epoch)
+            + uvarint_size(self.frontier)
+        )
+
+
+@dataclass(frozen=True)
+class MStableRequest(Message):
+    """Ask a remote partition to re-send ``MStable`` for a blocked command.
+
+    Cross-partition stability notifications are send-once; if every copy
+    toward a partition is lost, that partition's replicas hold the
+    committed command forever (the documented ``mstable-loss/x-shard``
+    gap).  The cross-shard stability watchdog detects a committed command
+    blocked on a remote partition's stability for at least two recovery
+    windows and sends this request to that partition's processes;
+    a receiver that already stabilised (or even collected) ``dot``
+    answers with a fresh :class:`MStable`.  ``partition`` identifies the
+    requester's partition, mirroring :class:`MStable`.
+    """
+
+    partition: int = 0
+
+    def size_bytes(self) -> int:
+        return frame_size(dot_size(self.dot) + uvarint_size(self.partition))
+
+
+@dataclass(frozen=True)
 class ClientSubmit(Message):
     """Client -> closest process: submit a command."""
 
@@ -401,4 +450,6 @@ TEMPO_MESSAGE_TYPES = (
     MCommitRequest,
     MPromiseResync,
     MExecutedClock,
+    MDeliveryAck,
+    MStableRequest,
 )

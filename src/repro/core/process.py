@@ -30,6 +30,7 @@ from repro.core.messages import (
     MCommitRequest,
     MConsensus,
     MConsensusAck,
+    MDeliveryAck,
     MExecutedClock,
     MPayload,
     MPromiseResync,
@@ -40,18 +41,24 @@ from repro.core.messages import (
     MRecAck,
     MRecNAck,
     MStable,
+    MStableRequest,
     MSubmit,
 )
 from repro.core.phases import Phase
 from repro.core.promises import Promise, PromiseSet, PromiseTracker, RangeCollector
 from repro.core.quorums import QuorumSystem
 from repro.core.recovery import RecoveryMixin
+from repro.reliability import TRACKED_KIND_IDS
 
 ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
 
 #: Phases in which a command's commit outcome may only be learnable through
 #: MCommitRequest (committed peers ignore MRec, §B.1).
 _RECOVERY_PHASES = frozenset({Phase.RECOVER_R, Phase.RECOVER_P})
+
+#: Wire kind bytes stamped into delivery acks for the tracked kinds.
+_ACK_KIND_MCOMMIT = TRACKED_KIND_IDS["MCommit"]
+_ACK_KIND_MSTABLE = TRACKED_KIND_IDS["MStable"]
 
 
 class TempoProcess(RecoveryMixin, ProcessBase):
@@ -161,6 +168,20 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._stable_frontier_seen = -1
         self._stable_stalled_since: Optional[float] = None
         self._last_promise_resync = float("-inf")
+        #: Cross-shard MStable watchdog state (see _stable_watchdog_tick):
+        #: the execution-head dot currently blocked on a remote partition's
+        #: stability notification, when it first blocked, and the last time
+        #: an MStableRequest round was sent (debounce).
+        self._xshard_blocked_dot: Optional[Dot] = None
+        self._xshard_blocked_since = 0.0
+        self._last_stable_request = float("-inf")
+        #: Highest contiguous promise frontier each partition peer has
+        #: acknowledged absorbing from this process (via MDeliveryAck
+        #: piggyback).  ``None`` until reliable delivery is enabled; when
+        #: set, :meth:`compact` floors promise GC at the minimum so a
+        #: late-joining or lossy peer can never lose promises it still
+        #: needs (the documented late-joiner gap).
+        self._acked_frontiers: Optional[Dict[int, int]] = None
         #: Set when a commit or promise absorption during a delivery scope
         #: made new timestamps potentially stable; the scope's
         #: :meth:`_flush_step` then runs one stability check for the whole
@@ -207,6 +228,8 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             MCommitRequest: self._on_commit_request,
             MPromiseResync: self._on_promise_resync,
             MExecutedClock: self._on_executed_clock,
+            MDeliveryAck: self._on_delivery_ack,
+            MStableRequest: self._on_stable_request,
         }
 
     # ------------------------------------------------------------------ helpers
@@ -575,6 +598,10 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                 self._elided_target_cache[key] = elided
             targets = elided
         self.send(targets, commit, now)
+        if self.reliability is not None:
+            # Lossy-run safety net: keep the commit buffered until every
+            # non-self target acknowledges delivery (see repro.reliability).
+            self.reliability.track(targets, commit, now)
 
     def _on_consensus(self, sender: int, message: MConsensus, now: float) -> None:
         """Accept a Flexible-Paxos phase-2 proposal (line 26)."""
@@ -612,6 +639,17 @@ class TempoProcess(RecoveryMixin, ProcessBase):
     def _on_commit(self, sender: int, message: MCommit, now: float) -> None:
         """Record a per-partition commit; commit once all partitions did."""
         dot = message.dot
+        if self.reliability is not None and sender != self.process_id:
+            # Ack before any dedup/GC early return: the sender retransmits
+            # until acked, so a duplicate usually means our first ack was
+            # lost.  Partition peers additionally learn our contiguous
+            # promise frontier for them (feeds their compact() floor).
+            frontier = (
+                self.promises.highest_contiguous_promise(sender)
+                if sender in self.partition_peer_set()
+                else 0
+            )
+            self._ack_delivery(sender, _ACK_KIND_MCOMMIT, dot, now, frontier)
         if self.gc is not None and self.gc.collected(dot):
             # Late duplicate (commit-request or resync reply) for a command
             # already globally executed: the piggybacked promises are still
@@ -1017,6 +1055,70 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                 now,
             )
 
+    def _stable_watchdog_tick(self, now: float) -> None:
+        """Re-solicit a remote shard's stability notification when stuck.
+
+        The PSMR execution rule (Algorithm 3/6) blocks a multi-partition
+        command until *every* accessed partition's MStable arrives, and that
+        notification is sent exactly once — a drop leaves the command
+        committed-but-unexecuted forever, and it wedges everything ordered
+        after it.  Watch the execution head: if the same identifier has been
+        blocked on a remote partition for two full recovery-timeout windows
+        (ordinary cross-shard skew resolves within one WAN delay, far below
+        that), ask the processes of each missing partition to re-send with
+        an :class:`MStableRequest`.  Debounced to one round per window;
+        always on — a healthy run never crosses the threshold, so the
+        watchdog costs one heap peek per tick and sends nothing.
+        """
+        heap = self._stable_heap
+        if not heap:
+            self._xshard_blocked_dot = None
+            return
+        dot = heap[0][1]
+        record = self._info[dot]
+        if record.has_all_stable():
+            # Not blocked — merely waiting for the next execution attempt.
+            self._xshard_blocked_dot = None
+            return
+        if dot != self._xshard_blocked_dot:
+            self._xshard_blocked_dot = dot
+            self._xshard_blocked_since = now
+            return
+        if now - self._xshard_blocked_since < 2 * self.config.recovery_timeout:
+            return
+        if now - self._last_stable_request < self.config.recovery_timeout:
+            return
+        self._last_stable_request = now
+        request = MStableRequest(dot, partition=self.partition)
+        for partition in sorted(set(record.quorums) - record.stable_from):
+            if partition == self.partition:
+                continue  # own-partition stability is derived locally
+            self.send(
+                sorted(self.config.processes_of_partition(partition)),
+                request,
+                now,
+            )
+
+    def _on_stable_request(
+        self, sender: int, message: MStableRequest, now: float
+    ) -> None:
+        """Re-send this partition's MStable for a command a remote shard is
+        blocked on (the original notification was lost)."""
+        dot = message.dot
+        record = self._info.get(dot)
+        if record is not None:
+            stable_here = record.stable_sent
+        else:
+            # A collected record was globally executed, which requires this
+            # partition to have declared it stable first.
+            stable_here = self.gc is not None and self.gc.collected(dot)
+        if not stable_here:
+            return  # not stable yet: the ordinary send will happen later
+        reply = MStable(dot, partition=self.partition)
+        self.send([sender], reply, now)
+        if self.reliability is not None:
+            self.reliability.track([sender], reply, now)
+
     def _on_stable(self, sender: int, message: MStable, now: float) -> None:
         """Record a per-partition stability notification (Algorithm 6).
 
@@ -1026,6 +1128,10 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         event-handling step, in ``(timestamp, id)`` order, at the same
         simulated instant.
         """
+        if self.reliability is not None and sender != self.process_id:
+            # Cross-partition sender retransmits until acked; ack duplicates
+            # too (our earlier ack may itself have been dropped).
+            self._ack_delivery(sender, _ACK_KIND_MSTABLE, message.dot, now)
         if self.gc is not None and self.gc.collected(message.dot):
             return  # late duplicate of a globally-executed command
         record = self.info(message.dot)
@@ -1076,7 +1182,12 @@ class TempoProcess(RecoveryMixin, ProcessBase):
             record.stable_sent = True
             heappush(self._stable_heap, (timestamp, dot))
             targets = self._stable_targets_for(record.quorums)
-            self.send(targets, MStable(dot, partition=self.partition), now)
+            notification = MStable(dot, partition=self.partition)
+            self.send(targets, notification, now)
+            if self.reliability is not None and len(targets) > 1:
+                # Cross-partition copies (everything except self) carry the
+                # PSMR execution rule across shards: buffer until acked.
+                self.reliability.track(targets, notification, now)
         self._try_execute(now)
 
     def _try_execute(self, now: float) -> None:
@@ -1140,6 +1251,8 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         self._hint_tick(now)
         self._recovery_tick(now)
         self._stability_resync_tick(now)
+        self._stable_watchdog_tick(now)
+        self._reliability_tick(now)
 
     # ------------------------------------------------------------------ watermark GC
 
@@ -1256,6 +1369,25 @@ class TempoProcess(RecoveryMixin, ProcessBase):
                 self._commit_requested.pop(dot, None)
                 self._request_commit_info(dot, now, force=True)
 
+    # ------------------------------------------------------------------ reliable delivery
+
+    def enable_reliability(self, buffer) -> None:
+        """Arm retransmission and start tracking per-peer acked frontiers."""
+        super().enable_reliability(buffer)
+        self._acked_frontiers = {
+            peer: 0
+            for peer in self.partition_peers()
+            if peer != self.process_id
+        }
+
+    def _on_delivery_ack(self, sender: int, message: MDeliveryAck, now: float) -> None:
+        super()._on_delivery_ack(sender, message, now)
+        frontiers = self._acked_frontiers
+        if frontiers is not None:
+            known = frontiers.get(sender)
+            if known is not None and message.frontier > known:
+                frontiers[sender] = message.frontier
+
     # ------------------------------------------------------------------ introspection
 
     def compact(self) -> int:
@@ -1270,6 +1402,17 @@ class TempoProcess(RecoveryMixin, ProcessBase):
         ignored.
         """
         stable = self.stable_timestamp()
+        frontiers = self._acked_frontiers
+        if frontiers:
+            # Acknowledgement-driven GC floor: never drop a promise (or the
+            # record carrying it) that an alive partition peer has not yet
+            # confirmed absorbing.  Crashed peers stop acking, so — exactly
+            # like GcTracker's watermark — they pin the floor until they
+            # recover and catch up, closing the late-joiner gap documented
+            # in docs/fault_injection.md.
+            acked_floor = min(frontiers.values())
+            if acked_floor < stable:
+                stable = acked_floor
         compacted = 0
         executed_dots = []
         for dot, record in self._info.items():

@@ -14,13 +14,17 @@ violation, so a matrix row exists only if the invariants held).
 Each cell reports tail latency, how many commands were left stuck on alive
 replicas, and whether the survivors converged (no stuck commands and — for
 Tempo, whose execution is a per-shard total order — identical execution
-orders).  Tempo's liveness machinery (commit-hint watchdog, §B.1 recovery,
-periodic promise re-broadcast) makes convergence a *requirement* for its
-crash/partition/flaky cells; the dependency-based baselines have no
-retransmission path, so their cells report stuck counts honestly instead.
-Known gap surfaced by the matrix: Tempo sends each ``MStable`` exactly once,
-so a lost cross-partition stability notification stalls the waiting replica
-— the ``mstable-loss`` cell documents this as ``converged=no``.
+orders).  Convergence is a *requirement* for every cell whose fault plan
+can lose or delay traffic: Tempo's liveness machinery (commit-hint
+watchdog, §B.1 recovery, periodic promise re-broadcast) plus the reliable-
+delivery layer (:mod:`repro.reliability`: ack-driven commit/MStable
+retransmission, the cross-shard stability watchdog, and coordinator
+re-solicitation for the dependency baselines) drains everything such a
+window strands.  The only cells still reported honestly as
+``converged=no`` are the baselines' unrecoverable coordinator crashes
+(``crash@s0``): the dead coordinator held quorum state no other replica
+can reconstruct, and crash-only plans deliberately keep the reliability
+layer off so their goldens match the seed's behaviour byte for byte.
 
 The matrix is deterministic end to end (every cell is seeded and all fault
 randomness draws from the network's dedicated fault RNG stream), so
@@ -139,10 +143,11 @@ def build_matrix(options: ScenarioOptions = ScenarioOptions()) -> List[ScenarioC
     # Crash/restart (crash-recovery variant): site 1 dies mid-run and
     # returns later holding its durable state.  While it is down the
     # watermark GC stalls at every survivor (the crashed peer stays in the
-    # minimum); after the restart the replica must catch up via the
-    # periodic liveness machinery and the campaign asserts post-restart
-    # convergence for Tempo — the baselines have no retransmission path,
-    # so their cells report what the outage stranded.
+    # minimum); after the restart the replica must catch up — Tempo via
+    # its periodic liveness machinery, the baselines via the reliable-
+    # delivery layer's commit retransmission and coordinator
+    # re-solicitation — and the campaign asserts post-restart convergence
+    # for every protocol.
     restart_at = options.duration_ms * 0.6
     for protocol in options.protocols:
         cells.append(
@@ -160,7 +165,7 @@ def build_matrix(options: ScenarioOptions = ScenarioOptions()) -> List[ScenarioC
                         ]
                     ),
                 ),
-                requires_convergence=protocol == "tempo",
+                requires_convergence=True,
                 tail_gated=protocol == "tempo",
             )
         )
@@ -180,7 +185,7 @@ def build_matrix(options: ScenarioOptions = ScenarioOptions()) -> List[ScenarioC
                         [Partition(crash_window, heal_at, isolated)]
                     ),
                 ),
-                requires_convergence=protocol == "tempo",
+                requires_convergence=True,
                 tail_gated=protocol == "tempo",
             )
         )
@@ -207,7 +212,7 @@ def build_matrix(options: ScenarioOptions = ScenarioOptions()) -> List[ScenarioC
                         ]
                     ),
                 ),
-                requires_convergence=protocol == "tempo",
+                requires_convergence=True,
             )
         )
     # Targeted loss: for Tempo, the cross-partition MStable notifications
@@ -238,6 +243,7 @@ def build_matrix(options: ScenarioOptions = ScenarioOptions()) -> List[ScenarioC
                             ]
                         ),
                     ),
+                    requires_convergence=True,
                 )
             )
         else:
@@ -260,6 +266,7 @@ def build_matrix(options: ScenarioOptions = ScenarioOptions()) -> List[ScenarioC
                             ]
                         ),
                     ),
+                    requires_convergence=True,
                 )
             )
     # Zipfian conflict skew: healthy network, hot-key YCSB+T contention.

@@ -37,17 +37,21 @@ from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
 from repro.core.gc import GcTracker
 from repro.core.identifiers import Dot, DotGenerator, intern_dot
-from repro.core.messages import ClientReply, MExecutedClock
+from repro.core.messages import ClientReply, MDeliveryAck, MExecutedClock
 from repro.core.quorums import QuorumSystem
 from repro.protocols.dep_messages import (
     MCaesarCommit,
     MCaesarPropose,
     MCaesarProposeAck,
 )
+from repro.reliability import TRACKED_KIND_IDS
 
 ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
 
 Timestamp = Tuple[int, int]
+
+#: Wire kind byte stamped into delivery acks for MCaesarCommit.
+_ACK_KIND_MCAESARCOMMIT = TRACKED_KIND_IDS["MCaesarCommit"]
 
 
 @dataclass
@@ -142,6 +146,7 @@ class CaesarProcess(ProcessBase):
             MCaesarProposeAck: self._on_propose_ack,
             MCaesarCommit: self._on_commit,
             MExecutedClock: self._on_executed_clock,
+            MDeliveryAck: self._on_delivery_ack,
         }
         #: Commands whose replies are currently blocked (for observability
         #: and for the §D pathological-scenario experiments).
@@ -331,9 +336,18 @@ class CaesarProcess(ProcessBase):
         commit = MCaesarCommit(
             message.dot, record.command, record.timestamp, dependencies
         )
-        self.send(self.partition_peers(), commit, now)
+        targets = self.partition_peers()
+        self.send(targets, commit, now)
+        if self.reliability is not None:
+            # Lossy-run safety net: keep the commit buffered until every
+            # non-self target acknowledges delivery (see repro.reliability).
+            self.reliability.track(targets, commit, now)
 
     def _on_commit(self, sender: int, message: MCaesarCommit, now: float) -> None:
+        if self.reliability is not None and sender != self.process_id:
+            # Ack before any dedup/GC early return: a duplicate usually
+            # means our first ack was lost.
+            self._ack_delivery(sender, _ACK_KIND_MCAESARCOMMIT, message.dot, now)
         if self.gc is not None and self.gc.collected(message.dot):
             return
         record = self.info(message.dot)
@@ -493,6 +507,7 @@ class CaesarProcess(ProcessBase):
         if now - self._last_gc_announce >= self.config.gc_interval:
             self._last_gc_announce = now
             self._gc_announce(now)
+        self._reliability_tick(now)
 
     # -- watermark GC -------------------------------------------------------------------
 

@@ -27,7 +27,7 @@ from repro.core.commands import Command, Partitioner
 from repro.core.config import ProtocolConfig
 from repro.core.gc import GcTracker
 from repro.core.identifiers import Dot, DotGenerator, intern_dot
-from repro.core.messages import ClientReply, MExecutedClock
+from repro.core.messages import ClientReply, MDeliveryAck, MExecutedClock
 from repro.core.quorums import QuorumSystem
 from repro.protocols.dep_messages import (
     MDepAccept,
@@ -37,10 +37,14 @@ from repro.protocols.dep_messages import (
     MPreAcceptAck,
 )
 from repro.protocols.depgraph import DependencyGraphExecutor
+from repro.reliability import TRACKED_KIND_IDS
 
 ApplyFn = Callable[[Command], Optional[Dict[str, Optional[str]]]]
 
 _EMPTY_DEPS: FrozenSet[Dot] = frozenset()
+
+#: Wire kind byte stamped into delivery acks for MDepCommit.
+_ACK_KIND_MDEPCOMMIT = TRACKED_KIND_IDS["MDepCommit"]
 
 
 class KeyConflicts:
@@ -159,6 +163,10 @@ class DepInfo:
     submitted_here: bool = False
     submitted_at: Optional[float] = None
     committed_at: Optional[float] = None
+    #: Last time the coordinator re-solicited the missing quorum acks for
+    #: this command (see _resolicit_tick); debounces to one round per
+    #: recovery-timeout window.
+    last_solicit: float = float("-inf")
 
 
 class DependencyProtocolProcess(ProcessBase):
@@ -218,7 +226,10 @@ class DependencyProtocolProcess(ProcessBase):
             MDepAcceptAck: self._on_accept_ack,
             MDepCommit: self._on_commit,
             MExecutedClock: self._on_executed_clock,
+            MDeliveryAck: self._on_delivery_ack,
         }
+        #: Last time _resolicit_tick scanned for stuck coordinator records.
+        self._last_resolicit_scan = float("-inf")
 
     # -- protocol parameters (overridden by subclasses) ---------------------------
 
@@ -479,9 +490,18 @@ class DependencyProtocolProcess(ProcessBase):
             record.sequence,
             shard=self.partition,
         )
-        self.send(sorted(set(self._commit_targets(record))), commit, now)
+        targets = sorted(set(self._commit_targets(record)))
+        self.send(targets, commit, now)
+        if self.reliability is not None:
+            # Lossy-run safety net: keep the commit buffered until every
+            # non-self target acknowledges delivery (see repro.reliability).
+            self.reliability.track(targets, commit, now)
 
     def _on_commit(self, sender: int, message: MDepCommit, now: float) -> None:
+        if self.reliability is not None and sender != self.process_id:
+            # Ack before any dedup/GC early return: a duplicate usually
+            # means our first ack was lost.
+            self._ack_delivery(sender, _ACK_KIND_MDEPCOMMIT, message.dot, now)
         if self.gc is not None and self.gc.collected(message.dot):
             return
         record = self.info(message.dot)
@@ -538,6 +558,70 @@ class DependencyProtocolProcess(ProcessBase):
         if now - self._last_gc_announce >= self.config.gc_interval:
             self._last_gc_announce = now
             self._gc_announce(now)
+        self._resolicit_tick(now)
+        self._reliability_tick(now)
+
+    def _resolicit_tick(self, now: float) -> None:
+        """Re-solicit the missing quorum replies of stuck coordinations.
+
+        These protocols have no recovery sub-protocol in this reproduction:
+        a phase-1/phase-2 round-trip lost to a restart or a lossy link
+        strands the command at its coordinator forever.  When reliable
+        delivery is enabled, the coordinator re-sends the pre-accept (or
+        accept) to exactly the quorum members whose reply is missing, once
+        per recovery-timeout window per command, after the command has been
+        pending for two full windows.  Crash-only plans keep this off, so
+        the crash@s0 baseline rows keep their documented behaviour.
+        """
+        if self.reliability is None:
+            return
+        timeout = self.config.recovery_timeout
+        if now - self._last_resolicit_scan < timeout:
+            return
+        self._last_resolicit_scan = now
+        for dot, record in self._info.items():
+            if not record.submitted_here or record.command is None:
+                continue
+            if record.status not in ("preaccept", "accept"):
+                continue
+            submitted_at = record.submitted_at
+            if submitted_at is None or now - submitted_at < 2 * timeout:
+                continue
+            if now - record.last_solicit < timeout:
+                continue
+            record.last_solicit = now
+            if record.status == "preaccept":
+                missing = [
+                    member
+                    for member in self._fast_quorum()
+                    if member not in record.preaccept_acks
+                ]
+                if missing:
+                    self.send(
+                        missing,
+                        MPreAccept(
+                            dot, record.command, record.dependencies, record.sequence
+                        ),
+                        now,
+                    )
+            else:
+                missing = [
+                    member
+                    for member in self._slow_quorum()
+                    if member not in record.accept_acks
+                ]
+                if missing:
+                    self.send(
+                        missing,
+                        MDepAccept(
+                            dot,
+                            record.command,
+                            record.dependencies,
+                            record.sequence,
+                            record.ballot,
+                        ),
+                        now,
+                    )
 
     # -- watermark GC -------------------------------------------------------------------
 

@@ -39,6 +39,7 @@ from repro.core.messages import (
     MCommitRequest,
     MConsensus,
     MConsensusAck,
+    MDeliveryAck,
     MExecutedClock,
     MPayload,
     MPromiseResync,
@@ -49,6 +50,7 @@ from repro.core.messages import (
     MRecAck,
     MRecNAck,
     MStable,
+    MStableRequest,
     MSubmit,
 )
 from repro.core.phases import Phase
@@ -482,6 +484,31 @@ def _dec_mexecutedclock(r: Reader) -> MExecutedClock:
     return MExecutedClock(dot, clock=clock)
 
 
+def _enc_mdeliveryack(buf, m: MDeliveryAck) -> None:
+    _write_dot(buf, m.dot)
+    write_uvarint(buf, m.kind_id)
+    write_uvarint(buf, m.epoch)
+    write_uvarint(buf, m.frontier)
+
+
+def _dec_mdeliveryack(r: Reader) -> MDeliveryAck:
+    return MDeliveryAck(
+        _read_dot(r),
+        kind_id=r.read_uvarint(),
+        epoch=r.read_uvarint(),
+        frontier=r.read_uvarint(),
+    )
+
+
+def _enc_mstablerequest(buf, m: MStableRequest) -> None:
+    _write_dot(buf, m.dot)
+    write_uvarint(buf, m.partition)
+
+
+def _dec_mstablerequest(r: Reader) -> MStableRequest:
+    return MStableRequest(_read_dot(r), r.read_uvarint())
+
+
 def _enc_clientsubmit(buf, m: ClientSubmit) -> None:
     _write_dot(buf, m.dot)
     _write_command(buf, m.command)
@@ -713,6 +740,8 @@ _REGISTRY_SPEC: Tuple[Tuple[int, type, Callable, Callable], ...] = (
     (31, MJanusDeps, _enc_mjanusdeps, _dec_mjanusdeps),
     (32, MPromiseResync, _enc_mpromiseresync, _dec_mpromiseresync),
     (33, MExecutedClock, _enc_mexecutedclock, _dec_mexecutedclock),
+    (34, MDeliveryAck, _enc_mdeliveryack, _dec_mdeliveryack),
+    (35, MStableRequest, _enc_mstablerequest, _dec_mstablerequest),
 )
 
 #: Message class -> (kind byte, body encoder); the class keys mirror the

@@ -26,6 +26,7 @@ from repro.core.messages import (
     MCommitRequest,
     MConsensus,
     MConsensusAck,
+    MDeliveryAck,
     MExecutedClock,
     MPayload,
     MPromiseResync,
@@ -36,6 +37,7 @@ from repro.core.messages import (
     MRecAck,
     MRecNAck,
     MStable,
+    MStableRequest,
     MSubmit,
 )
 from repro.core.phases import Phase
@@ -96,6 +98,8 @@ def sample_messages(payload_size: int = 100) -> Dict[str, object]:
         "MRecNAck": MRecNAck(dot, 5),
         "MCommitRequest": MCommitRequest(dot),
         "MPromiseResync": MPromiseResync(dot, frontier=17),
+        "MDeliveryAck": MDeliveryAck(dot, kind_id=5, epoch=1, frontier=41),
+        "MStableRequest": MStableRequest(dot, 0),
         "MExecutedClock": MExecutedClock(dot, clock={0: 12, 1: 9, 2: 36}),
         "ClientSubmit": ClientSubmit(dot, command),
         "ClientReply": ClientReply(dot, result={"key-0": str(dot)}),

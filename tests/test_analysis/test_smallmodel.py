@@ -10,7 +10,7 @@ run; the CI ``analysis`` job drives the larger ones (default-config Tempo at
 
 from __future__ import annotations
 
-from repro.analysis.smallmodel import explore_caesar, explore_tempo
+from repro.analysis.smallmodel import explore_caesar, explore_tempo, main
 from repro.core.gc import GcTracker
 
 
@@ -137,6 +137,63 @@ class TestEpoch2Models:
     def test_caesar_gc_off_matches_epoch1(self):
         result = explore_caesar(num_commands=2, watermark_gc=False)
         assert result.complete and result.ok, result.summary()
+
+
+class TestGeneralisedLossModels:
+    """PR 10 satellite: the loss transition generalised beyond MCommit,
+    and the two-partition topology that makes cross-shard MStable loss
+    expressible in the model."""
+
+    def test_lose_kinds_generalises_lose_commit(self):
+        # ``lose_commit`` is now an alias for ``lose_kinds=["MCommit"]``:
+        # both spellings explore the identical lattice.
+        alias = explore_tempo(num_commands=1, lose_commit=True, ack_broadcast=False)
+        named = explore_tempo(
+            num_commands=1, lose_kinds=["MCommit"], ack_broadcast=False
+        )
+        assert named.complete and named.ok, named.summary()
+        assert named.states_explored == alias.states_explored
+        assert named.final_states == alias.final_states
+
+    def test_two_partition_mstable_loss_bounded_sweep(self):
+        # The 6-process two-partition topology is too large to close in a
+        # unit test (the CI analysis job sweeps a deeper prefix), so this
+        # is a *bounded* soundness gate: within the state budget, losing a
+        # cross-partition MStable at any depth must produce no protocol
+        # violation — the cross-shard MStableRequest watchdog re-solicits
+        # the lost notification during settle.
+        result = explore_tempo(
+            num_commands=1,
+            lose_kinds=["MStable"],
+            num_partitions=2,
+            ack_broadcast=False,
+            commit_elision=False,
+            watermark_gc=False,
+            max_states=5_000,
+        )
+        assert not result.complete and result.stop_reason == "max_states"
+        codes = {violation.code for violation in result.violations}
+        assert codes == {"state-budget"}, result.summary()
+        assert result.final_states > 1_000, result.summary()
+        assert "p=2" in result.protocol
+
+    def test_cli_bounded_mode_tolerates_clean_truncation(self):
+        argv = [
+            "--commands",
+            "1",
+            "--partitions",
+            "2",
+            "--lose-kind",
+            "MStable",
+            "--no-ack-broadcast",
+            "--no-commit-elision",
+            "--no-watermark-gc",
+            "--max-states",
+            "300",
+        ]
+        # Truncated clean prefix: failure without --bounded, success with.
+        assert main(argv) == 1
+        assert main(argv + ["--bounded"]) == 0
 
 
 class TestCaesarModel:

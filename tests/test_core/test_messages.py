@@ -100,7 +100,8 @@ class TestSizes:
             "MSubmit", "MPropose", "MProposeAck", "MPayload", "MCommit",
             "MConsensus", "MConsensusAck", "MBump", "MPromises", "MStable",
             "MRec", "MRecAck", "MRecNAck", "MCommitRequest",
-            "MPromiseResync", "MExecutedClock",
+            "MPromiseResync", "MExecutedClock", "MDeliveryAck",
+            "MStableRequest",
         }
 
 

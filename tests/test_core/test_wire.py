@@ -106,7 +106,9 @@ class TestExhaustiveness:
         assert TYPE_TO_KIND[dep_messages.MJanusDeps] == 31
         assert TYPE_TO_KIND[core_messages.MPromiseResync] == 32
         assert TYPE_TO_KIND[core_messages.MExecutedClock] == 33
-        assert len(TYPE_TO_KIND) == 34
+        assert TYPE_TO_KIND[core_messages.MDeliveryAck] == 34
+        assert TYPE_TO_KIND[core_messages.MStableRequest] == 35
+        assert len(TYPE_TO_KIND) == 36
 
     def test_codec_exhaustiveness_lint_agrees(self):
         # The same closure properties, as enforced repo-wide by
